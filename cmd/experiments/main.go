@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig6              # one experiment
+//	experiments -exp all               # everything (slow at scale 1)
+//	experiments -exp table1 -scale 0.5 # scaled-down run
+//
+// Each experiment prints the same rows/series the paper reports plus the
+// paper's published values for comparison; EXPERIMENTS.md records a full
+// paper-vs-measured table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lava/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+") or 'all'")
+		scale = flag.Float64("scale", 0.25, "study scale in (0,1]: 1 = paper-sized (slow)")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	opt := experiments.Options{Scale: *scale, Seed: *seed}
+	for _, name := range names {
+		start := time.Now()
+		rep, err := experiments.Run(strings.TrimSpace(name), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n", name, time.Since(start).Seconds())
+		rep.Render(os.Stdout)
+		fmt.Println()
+	}
+}

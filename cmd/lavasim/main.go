@@ -1,0 +1,140 @@
+// Command lavasim replays a trace against a scheduling policy and prints
+// the bin-packing metrics the paper reports.
+//
+// Usage:
+//
+//	lavasim -trace trace.jsonl -policy lava -model gbdt
+//	lavasim -trace trace.jsonl -policy wastemin
+//	lavasim -trace trace.jsonl -policy nilas -model oracle -defrag
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lava/internal/defrag"
+	"lava/internal/model"
+	"lava/internal/model/gbdt"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/stranding"
+	"lava/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (required)")
+		policy    = flag.String("policy", "lava", "wastemin | bestfit | la-binary | nilas | lava")
+		modelKind = flag.String("model", "gbdt", "oracle | gbdt | km | dist (lifetime model for lifetime-aware policies)")
+		modelPath = flag.String("model-file", "", "load a pre-trained GBDT model instead of training on the trace")
+		trees     = flag.Int("trees", 400, "GBDT trees when training in-process")
+		refresh   = flag.Duration("cache", time.Minute, "host score cache refresh interval (0 disables)")
+		doDefrag  = flag.Bool("defrag", false, "enable the defragmentation engine (LARS ordering)")
+		doStrand  = flag.Bool("stranding", false, "measure stranding via inflation probes")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fatal(err)
+	}
+
+	pred, err := buildModel(tr, *modelKind, *modelPath, *trees)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := buildPolicy(*policy, pred, *refresh)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.Config{Trace: tr, Policy: pol}
+	var eng *defrag.Engine
+	if *doDefrag {
+		eng = defrag.New(defrag.Config{Strategy: defrag.OrderLARS, Policy: pol, Pred: pred})
+		cfg.Components = append(cfg.Components, eng)
+	}
+	var probe *stranding.Prober
+	if *doStrand {
+		probe = &stranding.Prober{Mix: stranding.MixFromTrace(tr.Records, 8), Every: 12 * time.Hour}
+		cfg.Components = append(cfg.Components, probe)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("pool: %s  policy: %s  hosts: %d  records: %d\n", res.PoolName, res.Policy, tr.Hosts, len(tr.Records))
+	fmt.Printf("placements: %d  exits: %d  failed: %d  model calls: %d\n", res.Placements, res.Exits, res.Failed, res.ModelCalls)
+	fmt.Printf("avg empty hosts:      %6.2f%%\n", 100*res.AvgEmptyHostFrac)
+	fmt.Printf("avg empty-to-free:    %6.2f%%\n", 100*res.AvgEmptyToFree)
+	fmt.Printf("avg packing density:  %6.2f%%\n", 100*res.AvgPackingDensity)
+	fmt.Printf("avg cpu utilization:  %6.2f%%\n", 100*res.AvgCPUUtil)
+	if eng != nil {
+		fmt.Printf("defrag: planned %d performed %d saved %d freed %d rounds %d\n",
+			eng.Stats.Planned, eng.Stats.Performed, eng.Stats.Saved, eng.Stats.HostsFreed, eng.Stats.Rounds)
+	}
+	if probe != nil {
+		fmt.Printf("stranding: cpu %5.2f%%  memory %5.2f%%\n",
+			100*probe.AvgStrandedCPU(tr.WarmUp), 100*probe.AvgStrandedMem(tr.WarmUp))
+	}
+}
+
+func buildModel(tr *trace.Trace, kind, path string, trees int) (model.Predictor, error) {
+	switch kind {
+	case "oracle":
+		return model.Oracle{}, nil
+	case "km":
+		return model.TrainKM(tr.Records, nil)
+	case "dist":
+		return model.TrainDistTable(tr.Records, nil)
+	case "gbdt":
+		if path != "" {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return model.LoadGBDT(f)
+		}
+		return model.TrainGBDT(tr.Records, gbdt.Params{Trees: trees})
+	default:
+		return nil, fmt.Errorf("unknown model kind %q", kind)
+	}
+}
+
+func buildPolicy(kind string, pred model.Predictor, refresh time.Duration) (scheduler.Policy, error) {
+	switch kind {
+	case "wastemin":
+		return scheduler.NewWasteMin(), nil
+	case "bestfit":
+		return scheduler.NewBestFit(), nil
+	case "la-binary":
+		return scheduler.NewLABinary(pred), nil
+	case "nilas":
+		return scheduler.NewNILAS(pred, refresh), nil
+	case "lava":
+		return scheduler.NewLAVA(pred, refresh), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lavasim:", err)
+	os.Exit(1)
+}

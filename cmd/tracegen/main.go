@@ -1,0 +1,67 @@
+// Command tracegen generates synthetic production-like VM traces (JSONL).
+//
+// Usage:
+//
+//	tracegen -out trace.jsonl -hosts 160 -util 0.65 -days 49 -prefill 21 -seed 1
+//	tracegen -out e2.jsonl -e2 -hosts 96 -days 14 -prefill 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lava/internal/simtime"
+	"lava/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output file (default stdout)")
+		name    = flag.String("name", "pool", "pool name")
+		zone    = flag.String("zone", "us-central1-a", "zone feature value")
+		hosts   = flag.Int("hosts", 160, "number of hosts")
+		util    = flag.Float64("util", 0.65, "target steady-state CPU utilization")
+		days    = flag.Int("days", 49, "steady-state days (paper studies use 7 weeks)")
+		prefill = flag.Int("prefill", 21, "warm-up days before the measured window")
+		seed    = flag.Int64("seed", 1, "random seed")
+		diurnal = flag.Float64("diurnal", 0.3, "diurnal arrival modulation amplitude")
+		e2      = flag.Bool("e2", false, "use the cost-optimized E2 mix")
+	)
+	flag.Parse()
+
+	var mix []workload.TypeSpec
+	if *e2 {
+		mix = workload.E2Mix()
+	}
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: *name, Zone: *zone, Hosts: *hosts, TargetUtil: *util,
+		Duration: time.Duration(*days) * simtime.Day,
+		Prefill:  time.Duration(*prefill) * simtime.Day,
+		Seed:     *seed, Diurnal: *diurnal, Mix: mix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records (%d hosts, warm-up %v, horizon %v)\n",
+		len(tr.Records), tr.Hosts, tr.WarmUp, tr.Horizon)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

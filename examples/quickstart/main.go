@@ -1,0 +1,48 @@
+// Quickstart: generate a synthetic pool trace, train the production-style
+// GBDT lifetime model on it, and compare the lifetime-unaware baseline with
+// LA-Binary, NILAS and LAVA on the paper's primary metric (empty hosts).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lava"
+)
+
+func main() {
+	// A small pool: 48 hosts at 65% utilization, 6 steady days after a
+	// 10-day warm-up (so long-lived VMs reach steady state).
+	tr, err := lava.GenerateTrace(lava.TraceConfig{
+		Name: "quickstart", Hosts: 48, TargetUtil: 0.65,
+		Days: 6, PrefillDays: 10, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d VMs over %v (warm-up %v)\n", len(tr.Records), tr.Horizon, tr.WarmUp)
+
+	// Train the GBDT lifetime model on the trace's own records (production
+	// trains on historical data; see examples/abtest for a held-out flow).
+	pred, err := lava.TrainModel(tr, lava.ModelGBDT)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results, err := lava.Compare(tr, pred,
+		lava.PolicyWasteMin, lava.PolicyLABinary, lava.PolicyNILAS, lava.PolicyLAVA)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := results[lava.PolicyWasteMin].AvgEmptyHostFrac
+	fmt.Println("\npolicy     | empty hosts | vs baseline")
+	for _, kind := range []lava.PolicyKind{lava.PolicyWasteMin, lava.PolicyLABinary, lava.PolicyNILAS, lava.PolicyLAVA} {
+		r := results[kind]
+		fmt.Printf("%-10s | %10.2f%% | %+.2f pp\n",
+			kind, 100*r.AvgEmptyHostFrac, 100*(r.AvgEmptyHostFrac-base))
+	}
+	fmt.Println("\n(paper, Fig. 6: LAVA +6.5 pp, NILAS +6.1 pp, LA-Binary +5.0 pp over baseline)")
+}

@@ -1,0 +1,130 @@
+package causal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthSeries builds a treated series that tracks a control with noise and
+// jumps by `lift` after preEnd.
+func synthSeries(n, preEnd int, lift float64, seed int64) Input {
+	rng := rand.New(rand.NewSource(seed))
+	control := make([]float64, n)
+	treated := make([]float64, n)
+	level := 10.0
+	for t := 0; t < n; t++ {
+		level += 0.1 * rng.NormFloat64()
+		control[t] = level + 0.2*rng.NormFloat64()
+		treated[t] = 2 + control[t] + 0.3*rng.NormFloat64()
+		if t >= preEnd {
+			treated[t] += lift
+		}
+	}
+	return Input{Treated: treated, Control: control, PreEnd: preEnd}
+}
+
+func TestAnalyzeRecoversLift(t *testing.T) {
+	in := synthSeries(400, 250, 3.0, 1)
+	res, err := Analyze(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgEffect-3.0) > 0.5 {
+		t.Fatalf("AvgEffect = %v, want ~3", res.AvgEffect)
+	}
+	if !res.Significant() {
+		t.Fatalf("clear lift not significant: CI = %v", res.CI)
+	}
+	// The residual bootstrap omits model-fit uncertainty, so demand only
+	// approximate coverage of the true lift.
+	if res.CI[0] > 3.2 || res.CI[1] < 2.8 {
+		t.Fatalf("CI %v far from the true lift 3", res.CI)
+	}
+	if res.CI[0] >= res.CI[1] {
+		t.Fatalf("degenerate CI %v", res.CI)
+	}
+}
+
+func TestAnalyzeNullCase(t *testing.T) {
+	in := synthSeries(400, 250, 0.0, 2)
+	res, err := Analyze(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgEffect) > 0.4 {
+		t.Fatalf("null AvgEffect = %v, want ~0", res.AvgEffect)
+	}
+	if res.Significant() {
+		t.Fatalf("null effect flagged significant: CI = %v", res.CI)
+	}
+}
+
+func TestAnalyzeWithoutControl(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, pre := 300, 200
+	treated := make([]float64, n)
+	for t := 0; t < n; t++ {
+		treated[t] = 5 + 0.01*float64(t) + 0.3*rng.NormFloat64()
+		if t >= pre {
+			treated[t] += 2
+		}
+	}
+	res, err := Analyze(Input{Treated: treated, PreEnd: pre}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgEffect-2) > 0.5 {
+		t.Fatalf("trend-only AvgEffect = %v, want ~2", res.AvgEffect)
+	}
+}
+
+func TestAnalyzePanels(t *testing.T) {
+	in := synthSeries(100, 60, 1.0, 4)
+	res, err := Analyze(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counterfactual) != 100 || len(res.PointEffect) != 100 || len(res.CumulativeEffect) != 100 {
+		t.Fatal("panel lengths wrong")
+	}
+	// Pre-period cumulative effect must be zero.
+	for i := 0; i < 60; i++ {
+		if res.CumulativeEffect[i] != 0 {
+			t.Fatalf("pre-period cumulative effect nonzero at %d", i)
+		}
+	}
+	// Cumulative effect must be (weakly) increasing for a positive lift.
+	if res.CumulativeEffect[99] < res.CumulativeEffect[70] {
+		t.Fatal("cumulative effect not accumulating")
+	}
+	// RelEffect should be about 1/12 (lift 1 on level ~12).
+	if res.RelEffect < 0.03 || res.RelEffect > 0.2 {
+		t.Fatalf("RelEffect = %v", res.RelEffect)
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	if _, err := Analyze(Input{Treated: make([]float64, 10), PreEnd: 2}, 1); err == nil {
+		t.Fatal("tiny pre-period must fail")
+	}
+	if _, err := Analyze(Input{Treated: make([]float64, 10), PreEnd: 10}, 1); err == nil {
+		t.Fatal("no post-period must fail")
+	}
+	if _, err := Analyze(Input{Treated: make([]float64, 20), Control: make([]float64, 5), PreEnd: 10}, 1); err == nil {
+		t.Fatal("control length mismatch must fail")
+	}
+}
+
+func TestOLS(t *testing.T) {
+	// y = 1 + 2x.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{1, 3, 5, 7}
+	beta, err := ols(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-1) > 1e-6 || math.Abs(beta[1]-2) > 1e-6 {
+		t.Fatalf("beta = %v, want [1 2]", beta)
+	}
+}

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lava/internal/resources"
+)
+
+// Pool is a set of homogeneous hosts plus the VM placement index. It is the
+// unit of scheduling in the paper (§2.2): each VM family has distinct host
+// pools and the scheduler keeps a global view of one pool.
+type Pool struct {
+	Name  string
+	hosts []*Host // sorted by ID, immutable membership after construction
+	byID  map[HostID]*Host
+	vms   map[VMID]*Host // VM -> current host
+
+	// Counters for telemetry (§7: production monitoring).
+	Placements int
+	Exits      int
+	Migrations int
+}
+
+// NewPool builds a pool of n identical hosts with the given capacity.
+func NewPool(name string, n int, capacity resources.Vector) *Pool {
+	p := &Pool{
+		Name: name,
+		byID: make(map[HostID]*Host, n),
+		vms:  make(map[VMID]*Host),
+	}
+	for i := 0; i < n; i++ {
+		h := NewHost(HostID(i), capacity)
+		p.hosts = append(p.hosts, h)
+		p.byID[h.ID] = h
+	}
+	return p
+}
+
+// Hosts returns the hosts in ID order. Callers must not mutate the slice.
+func (p *Pool) Hosts() []*Host { return p.hosts }
+
+// Host returns the host with the given ID, or nil.
+func (p *Pool) Host(id HostID) *Host { return p.byID[id] }
+
+// NumHosts returns the pool size.
+func (p *Pool) NumHosts() int { return len(p.hosts) }
+
+// NumVMs returns the number of currently running VMs.
+func (p *Pool) NumVMs() int { return len(p.vms) }
+
+// HostOf returns the host currently running the VM, or nil.
+func (p *Pool) HostOf(id VMID) *Host { return p.vms[id] }
+
+// Place assigns vm to host h. The VM must not already be placed.
+func (p *Pool) Place(vm *VM, h *Host) error {
+	if cur, ok := p.vms[vm.ID]; ok {
+		return fmt.Errorf("pool %s: vm %d already on host %d", p.Name, vm.ID, cur.ID)
+	}
+	if err := h.add(vm); err != nil {
+		return err
+	}
+	p.vms[vm.ID] = h
+	p.Placements++
+	return nil
+}
+
+// Exit removes the VM from the pool, returning the host it ran on.
+func (p *Pool) Exit(id VMID) (*Host, *VM, error) {
+	h, ok := p.vms[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("pool %s: vm %d not running", p.Name, id)
+	}
+	vm, err := h.remove(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	delete(p.vms, id)
+	p.Exits++
+	return h, vm, nil
+}
+
+// Migrate moves a running VM to a different host. The destination must have
+// room. It returns the source host.
+func (p *Pool) Migrate(id VMID, dst *Host) (*Host, error) {
+	src, ok := p.vms[id]
+	if !ok {
+		return nil, fmt.Errorf("pool %s: vm %d not running", p.Name, id)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("pool %s: vm %d migration to its own host %d", p.Name, id, src.ID)
+	}
+	vm, err := src.remove(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := dst.add(vm); err != nil {
+		// Roll back so the pool stays consistent.
+		if rbErr := src.add(vm); rbErr != nil {
+			panic(fmt.Sprintf("pool %s: migration rollback failed: %v", p.Name, rbErr))
+		}
+		return nil, err
+	}
+	p.vms[id] = dst
+	vm.Migrations++
+	p.Migrations++
+	return src, nil
+}
+
+// EmptyHosts returns the number of hosts with no VMs.
+func (p *Pool) EmptyHosts() int {
+	n := 0
+	for _, h := range p.hosts {
+		if h.Empty() {
+			n++
+		}
+	}
+	return n
+}
+
+// EmptyHostFraction returns EmptyHosts / NumHosts, the paper's primary bin
+// packing metric (§2.3, Appendix D).
+func (p *Pool) EmptyHostFraction() float64 {
+	if len(p.hosts) == 0 {
+		return 0
+	}
+	return float64(p.EmptyHosts()) / float64(len(p.hosts))
+}
+
+// EmptyToFreeRatio returns the fraction of free CPU cores that sit on
+// completely empty hosts (Appendix D).
+func (p *Pool) EmptyToFreeRatio() float64 {
+	var emptyCPU, freeCPU int64
+	for _, h := range p.hosts {
+		f := h.Free().CPUMilli
+		freeCPU += f
+		if h.Empty() {
+			emptyCPU += f
+		}
+	}
+	if freeCPU == 0 {
+		return 0
+	}
+	return float64(emptyCPU) / float64(freeCPU)
+}
+
+// PackingDensity returns allocated cores on non-empty hosts divided by total
+// cores on non-empty hosts, the metric of Barbalho et al. (Appendix D).
+func (p *Pool) PackingDensity() float64 {
+	var used, cap int64
+	for _, h := range p.hosts {
+		if h.Empty() {
+			continue
+		}
+		used += h.Used().CPUMilli
+		cap += h.Capacity.CPUMilli
+	}
+	if cap == 0 {
+		return 0
+	}
+	return float64(used) / float64(cap)
+}
+
+// Utilization returns pool-wide CPU and memory utilization fractions.
+func (p *Pool) Utilization() (cpu, mem float64) {
+	var used, cap resources.Vector
+	for _, h := range p.hosts {
+		used = used.Add(h.Used())
+		cap = cap.Add(h.Capacity)
+	}
+	c, m, _ := resources.Utilization(used, cap)
+	return c, m
+}
+
+// FreeTotal returns the pool-wide free resource vector.
+func (p *Pool) FreeTotal() resources.Vector {
+	var free resources.Vector
+	for _, h := range p.hosts {
+		free = free.Add(h.Free())
+	}
+	return free
+}
+
+// RunningVMs returns all running VMs sorted by ID.
+func (p *Pool) RunningVMs() []*VM {
+	out := make([]*VM, 0, len(p.vms))
+	for id, h := range p.vms {
+		out = append(out, h.VM(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clone deep-copies the pool for what-if packing (stranding inflation).
+func (p *Pool) Clone() *Pool {
+	c := &Pool{
+		Name: p.Name,
+		byID: make(map[HostID]*Host, len(p.hosts)),
+		vms:  make(map[VMID]*Host, len(p.vms)),
+	}
+	for _, h := range p.hosts {
+		hc := h.Clone()
+		c.hosts = append(c.hosts, hc)
+		c.byID[hc.ID] = hc
+		for _, vm := range hc.VMs() {
+			c.vms[vm.ID] = hc
+		}
+	}
+	return c
+}
+
+// CheckInvariants verifies internal consistency: per-host used sums match VM
+// shapes, no VM is double-booked, and the VM index agrees with host
+// contents. Tests and the simulator's debug mode call this.
+func (p *Pool) CheckInvariants() error {
+	seen := make(map[VMID]HostID)
+	for _, h := range p.hosts {
+		var sum resources.Vector
+		for _, vm := range h.VMs() {
+			if prev, dup := seen[vm.ID]; dup {
+				return fmt.Errorf("vm %d on both host %d and host %d", vm.ID, prev, h.ID)
+			}
+			seen[vm.ID] = h.ID
+			sum = sum.Add(vm.Shape)
+			if vm.Host != h {
+				return fmt.Errorf("vm %d back-pointer mismatch: %v != host %d", vm.ID, vm.Host, h.ID)
+			}
+			if p.vms[vm.ID] != h {
+				return fmt.Errorf("vm %d index mismatch", vm.ID)
+			}
+		}
+		if sum != h.Used() {
+			return fmt.Errorf("host %d used %s != sum of shapes %s", h.ID, h.Used(), sum)
+		}
+		if !h.Free().NonNegative() {
+			return fmt.Errorf("host %d over-committed: free %s", h.ID, h.Free())
+		}
+	}
+	if len(seen) != len(p.vms) {
+		return fmt.Errorf("vm index size %d != hosted VMs %d", len(p.vms), len(seen))
+	}
+	return nil
+}
+
+// VMUptimeSum is a telemetry helper: total uptime of running VMs at now.
+func (p *Pool) VMUptimeSum(now time.Duration) time.Duration {
+	var sum time.Duration
+	for id, h := range p.vms {
+		sum += h.VM(id).Uptime(now)
+	}
+	return sum
+}

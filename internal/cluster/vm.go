@@ -1,0 +1,64 @@
+// Package cluster models the physical substrate of the paper's setting
+// (§2.2): pools of identical hosts onto which VMs are packed. It owns all
+// allocation bookkeeping, the per-host LAVA lifetime-class state machine
+// (empty / open / recycling, §4.3), and snapshot/clone support used by the
+// stranding pipeline.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"lava/internal/features"
+	"lava/internal/resources"
+	"lava/internal/simtime"
+)
+
+// VMID identifies a VM within a trace/pool.
+type VMID int64
+
+// VM is a virtual machine request and its runtime bookkeeping. The ground
+// truth lifetime is carried from the trace for oracle predictors and
+// evaluation; scheduling policies must only access it through a
+// model.Predictor.
+type VM struct {
+	ID      VMID
+	Shape   resources.Vector
+	Feat    features.Features
+	Created time.Duration // simulation time the VM was scheduled
+
+	// TrueLifetime is the ground-truth total lifetime from the trace.
+	// Policies never read it directly; the Oracle predictor does.
+	TrueLifetime time.Duration
+
+	// InitialPrediction is the one-shot lifetime prediction made when the VM
+	// was scheduled. LA-Binary treats it as fixed (§2.4); NILAS/LAVA ignore
+	// it in favour of repredictions.
+	InitialPrediction time.Duration
+
+	// Host is the current host, or nil before placement / after exit.
+	Host *Host
+
+	// Migrations counts completed live migrations of this VM.
+	Migrations int
+}
+
+// Uptime returns how long the VM has been running at time now.
+func (v *VM) Uptime(now time.Duration) time.Duration {
+	if now < v.Created {
+		return 0
+	}
+	return now - v.Created
+}
+
+// TrueExit returns the ground-truth exit time (creation + true lifetime).
+func (v *VM) TrueExit() time.Duration { return v.Created + v.TrueLifetime }
+
+// InitialClass returns the LAVA lifetime class of the initial prediction.
+func (v *VM) InitialClass() simtime.LifetimeClass {
+	return simtime.ClassOf(v.InitialPrediction)
+}
+
+func (v *VM) String() string {
+	return fmt.Sprintf("vm%d(%s)", v.ID, v.Shape)
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lava/internal/dist"
+	"lava/internal/simtime"
+	"lava/internal/workload"
+)
+
+func init() {
+	register("fig1", runFig1)
+	register("fig2", runFig2)
+	register("table3", runTable3)
+}
+
+// --- Fig. 1: lifetime CDF by VM count vs resource consumption ---------------
+
+// Fig1Report reproduces Fig. 1: the fraction of VMs below each lifetime
+// threshold vs the fraction of resources (CPU-cores x time) they consume.
+type Fig1Report struct {
+	Thresholds []time.Duration
+	VMFrac     []float64
+	ResFrac    []float64
+}
+
+// Name implements Report.
+func (r *Fig1Report) Name() string { return "fig1" }
+
+// Render implements Report.
+func (r *Fig1Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 1 — Distribution of VM lifetimes vs. resource consumption")
+	fmt.Fprintln(w, "lifetime <=   | % of VMs | % of core-hours")
+	for i, th := range r.Thresholds {
+		fmt.Fprintf(w, "%-13s | %s | %s\n", th, pct(r.VMFrac[i]), pct(r.ResFrac[i]))
+	}
+	fmt.Fprintf(w, "paper: 88%% of VMs live < 1h; 98%% of resources consumed by VMs >= 1h\n")
+}
+
+func runFig1(opt Options) (Report, error) {
+	tr, err := studyTrace(opt, 0, 0.65)
+	if err != nil {
+		return nil, err
+	}
+	lifetimes := make([]time.Duration, len(tr.Records))
+	weights := make([]float64, len(tr.Records))
+	for i, rec := range tr.Records {
+		lifetimes[i] = rec.Lifetime
+		weights[i] = float64(rec.Shape.CPUMilli) / 1000 * rec.Lifetime.Hours()
+	}
+	e, err := dist.FromDurations(lifetimes)
+	if err != nil {
+		return nil, err
+	}
+	wc, err := dist.NewWeightedCDF(lifetimes, weights)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig1Report{Thresholds: []time.Duration{
+		10 * time.Minute, time.Hour, 6 * time.Hour, simtime.Day, 7 * simtime.Day, 14 * simtime.Day,
+	}}
+	for _, th := range rep.Thresholds {
+		rep.VMFrac = append(rep.VMFrac, e.CDF(th))
+		rep.ResFrac = append(rep.ResFrac, wc.FractionAtOrBelow(th))
+	}
+	return rep, nil
+}
+
+// --- Fig. 2: conditional expected remaining lifetime --------------------------
+
+// Fig2Report reproduces Fig. 2: for a multi-modal VM population, the
+// expected remaining lifetime grows with observed uptime.
+type Fig2Report struct {
+	Uptimes   []time.Duration
+	ExpRemain []time.Duration
+}
+
+// Name implements Report.
+func (r *Fig2Report) Name() string { return "fig2" }
+
+// Render implements Report.
+func (r *Fig2Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 2 — E(remaining | uptime) for a multi-modal VM type")
+	fmt.Fprintln(w, "uptime        | expected remaining lifetime")
+	for i, u := range r.Uptimes {
+		fmt.Fprintf(w, "%-13s | %s\n", u, r.ExpRemain[i])
+	}
+	fmt.Fprintln(w, "paper: 0.2d expected at schedule time -> 4d after 1 day -> 10d after 7 days")
+}
+
+func runFig2(opt Options) (Report, error) {
+	// Sample the bimodal dev-box type heavily to expose the Fig. 2 shape.
+	mix := workload.DefaultMix()
+	var devbox []workload.TypeSpec
+	for _, ts := range mix {
+		if len(ts.Modes) > 1 {
+			ts.Weight = 1
+			ts.MaxLifetime = 30 * simtime.Day
+			devbox = append(devbox, ts)
+			break
+		}
+	}
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: "fig2", Zone: "z", Hosts: 48, TargetUtil: 0.5,
+		Duration: 10 * simtime.Day, Seed: opt.Seed, Mix: devbox,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lifetimes := make([]time.Duration, len(tr.Records))
+	for i, rec := range tr.Records {
+		lifetimes[i] = rec.Lifetime
+	}
+	e, err := dist.FromDurations(lifetimes)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig2Report{Uptimes: []time.Duration{
+		0, 6 * time.Hour, simtime.Day, 2 * simtime.Day, 4 * simtime.Day, 7 * simtime.Day,
+	}}
+	for _, u := range rep.Uptimes {
+		rep.ExpRemain = append(rep.ExpRemain, e.CondExpRemaining(u))
+	}
+	return rep, nil
+}
+
+// --- Table 3: model features ---------------------------------------------------
+
+// Table3Report lists the model feature schema (documentation-style).
+type Table3Report struct{}
+
+// Name implements Report.
+func (r *Table3Report) Name() string { return "table3" }
+
+// Render implements Report.
+func (r *Table3Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 — Model features (see internal/features)")
+	rows := [][2]string{
+		{"Zone", "geographical zone the VM runs in (categorical, high)"},
+		{"VM Shape", "resource dimensions of the VM (categorical, high)"},
+		{"VM Category", "internal VM categorization tag (categorical, high)"},
+		{"Metadata ID", "groups related VMs together (categorical, high)"},
+		{"Has SSD", "local SSD attached (boolean)"},
+		{"Provisioning Model", "spot vs on-demand (boolean)"},
+		{"Priority", "preemption priority band (categorical)"},
+		{"Admission Policy", "admitted without quota check (boolean)"},
+		{"Uptime", "uptime so far, hours, log domain (float)"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %s\n", r[0], r[1])
+	}
+}
+
+func runTable3(Options) (Report, error) { return &Table3Report{}, nil }

@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§6, appendices). Each experiment is a named runner that
+// produces a typed report and renders the same rows/series the paper
+// reports. DESIGN.md §4 maps experiment IDs to the modules involved;
+// EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"lava/internal/model"
+	"lava/internal/model/gbdt"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+// Options scales experiments between test-sized and paper-sized runs.
+type Options struct {
+	// Scale in (0, 1]: 1 is the full configuration (24 pools, 7-week
+	// steady windows); smaller values shrink pool counts, host counts and
+	// durations proportionally. Default 0.25.
+	Scale float64
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// scaleInt shrinks n by the scale factor with a floor.
+func scaleInt(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// scaleDur shrinks a duration by the scale factor with a floor.
+func scaleDur(d time.Duration, scale float64, min time.Duration) time.Duration {
+	v := time.Duration(float64(d) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Report is a rendered experiment result.
+type Report interface {
+	Name() string
+	Render(w io.Writer)
+}
+
+// Runner produces a report.
+type Runner func(Options) (Report, error)
+
+// registry maps experiment IDs to runners. Populated by init() functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+func register(name string, r Runner) { registry[name] = r }
+
+// Names lists registered experiment IDs, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, opt Options) (Report, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(opt.withDefaults())
+}
+
+// --- shared fixtures -----------------------------------------------------
+
+// studyTrace generates one standard study pool trace at the given scale.
+func studyTrace(opt Options, idx int, util float64) (*trace.Trace, error) {
+	return workload.Generate(workload.PoolSpec{
+		Name:       fmt.Sprintf("pool-%02d", idx),
+		Zone:       []string{"us-central1-a", "us-east1-b", "europe-west4-a"}[idx%3],
+		Hosts:      scaleInt(160, opt.Scale, 24),
+		TargetUtil: util,
+		Duration:   scaleDur(7*simtime.Week, opt.Scale, 4*simtime.Day),
+		Prefill:    scaleDur(3*simtime.Week, opt.Scale, 8*simtime.Day),
+		Seed:       opt.Seed + int64(1000*idx),
+		Diurnal:    0.3,
+		FirstVMID:  0,
+	})
+}
+
+// trainedModel trains the production-style GBDT on an independent training
+// trace — one joint model shared by every pool, as in production (§3).
+func trainedModel(opt Options) (*model.GBDTPredictor, error) {
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: "training", Zone: "train-zone", Hosts: scaleInt(96, opt.Scale, 24),
+		TargetUtil: 0.65,
+		Duration:   scaleDur(4*simtime.Week, opt.Scale, 7*simtime.Day),
+		Seed:       opt.Seed + 999_999,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trees := scaleInt(400, opt.Scale, 80)
+	return model.TrainGBDT(tr.Records, gbdt.Params{Trees: trees})
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%6.2f%%", 100*f) }
+
+// pp formats a percentage-point delta.
+func pp(f float64) string { return fmt.Sprintf("%+.2f pp", 100*f) }

@@ -1,0 +1,483 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/features"
+	"lava/internal/model"
+	"lava/internal/model/cox"
+	"lava/internal/model/eval"
+	"lava/internal/model/gbdt"
+	"lava/internal/model/mlp"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+func init() {
+	register("fig8", runFig8)
+	register("fig9", runFig9)
+	register("fig10", runFig10)
+	register("fig11", runFig11)
+	register("fig12", runFig12)
+	register("table4", runTable4)
+}
+
+// vmOf converts a trace record to a VM for prediction.
+func vmOf(r trace.Record) *cluster.VM {
+	return &cluster.VM{ID: r.ID, Shape: r.Shape, Feat: r.Feat, TrueLifetime: r.Lifetime}
+}
+
+// trainTestSplit builds the shared model-evaluation data.
+func trainTestSplit(opt Options) (train, test []trace.Record, err error) {
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: "model-eval", Zone: "eval-zone", Hosts: scaleInt(96, opt.Scale, 48),
+		TargetUtil: 0.65, Duration: scaleDur(4*simtime.Week, opt.Scale, 14*simtime.Day),
+		Seed: opt.Seed + 77,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	train, test = model.SplitRecords(tr.Records, 0.3, opt.Seed)
+	return train, test, nil
+}
+
+// --- Fig. 8: model inference latency -----------------------------------------
+
+// Fig8Report is the model-latency histogram (median must be microseconds,
+// enabling in-scheduler repredictions; the paper reports 9 us median, 780x
+// below LA's model-server setup).
+type Fig8Report struct {
+	BucketsUS []float64 // bucket upper bounds in microseconds
+	Counts    []int
+	MedianUS  float64
+	P99US     float64
+}
+
+// Name implements Report.
+func (r *Fig8Report) Name() string { return "fig8" }
+
+// Render implements Report.
+func (r *Fig8Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 8 — Histogram of model execution latencies")
+	for i, b := range r.BucketsUS {
+		fmt.Fprintf(w, "<= %7.1f us | %d\n", b, r.Counts[i])
+	}
+	fmt.Fprintf(w, "median = %.2f us, p99 = %.2f us (paper: median 9 us)\n", r.MedianUS, r.P99US)
+}
+
+func runFig8(opt Options) (Report, error) {
+	train, test, err := trainTestSplit(opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(2000, opt.Scale, 200)})
+	if err != nil {
+		return nil, err
+	}
+	n := 20000
+	lats := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		rec := test[i%len(test)]
+		vm := vmOf(rec)
+		uptime := time.Duration(i%8) * time.Hour
+		start := time.Now()
+		_ = g.PredictRemaining(vm, uptime)
+		lats = append(lats, float64(time.Since(start).Nanoseconds())/1e3)
+	}
+	sort.Float64s(lats)
+	rep := &Fig8Report{
+		BucketsUS: []float64{1, 2, 5, 10, 20, 50, 100, 1000},
+		MedianUS:  lats[len(lats)/2],
+		P99US:     lats[len(lats)*99/100],
+	}
+	rep.Counts = make([]int, len(rep.BucketsUS))
+	for _, l := range lats {
+		for i, b := range rep.BucketsUS {
+			if l <= b {
+				rep.Counts[i]++
+				break
+			}
+		}
+	}
+	return rep, nil
+}
+
+// --- Fig. 9: F1 vs uptime quantile ---------------------------------------------
+
+// Fig9Report shows reprediction accuracy: F1 for the 168h-threshold
+// classification as a function of how much uptime the model observes.
+type Fig9Report struct {
+	Quantiles []int
+	F1        []float64
+}
+
+// Name implements Report.
+func (r *Fig9Report) Name() string { return "fig9" }
+
+// Render implements Report.
+func (r *Fig9Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 9 — F1 of 7-day classification vs uptime quantile")
+	for i, q := range r.Quantiles {
+		fmt.Fprintf(w, "q%-2d | F1 = %.3f\n", q, r.F1[i])
+	}
+	fmt.Fprintln(w, "paper: ~0.8 at q0, dip at q1-q5, > 0.9 past q8")
+}
+
+func runFig9(opt Options) (Report, error) {
+	train, test, err := trainTestSplit(opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(400, opt.Scale, 120)})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig9Report{}
+	for q := 0; q < 20; q++ {
+		var predicted, actual []time.Duration
+		for _, rec := range test {
+			uptime := time.Duration(float64(q) / 20 * float64(rec.Lifetime))
+			predTotal := uptime + g.PredictRemaining(vmOf(rec), uptime)
+			predicted = append(predicted, predTotal)
+			actual = append(actual, rec.Lifetime)
+		}
+		b, err := eval.Classify(predicted, actual, eval.LongThreshold)
+		if err != nil {
+			return nil, err
+		}
+		rep.Quantiles = append(rep.Quantiles, q)
+		rep.F1 = append(rep.F1, b.F1())
+	}
+	return rep, nil
+}
+
+// --- Fig. 10: accuracy decay over time -------------------------------------------
+
+// Fig10Report measures model accuracy on progressively drifted workloads,
+// standing in for weeks elapsing after training (§6.6).
+type Fig10Report struct {
+	WeeksAfter []int
+	F1         []float64
+}
+
+// Name implements Report.
+func (r *Fig10Report) Name() string { return "fig10" }
+
+// Render implements Report.
+func (r *Fig10Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 10 — Model F1 vs weeks after training (workload drift)")
+	for i, wk := range r.WeeksAfter {
+		fmt.Fprintf(w, "week %-2d | F1 = %.3f\n", wk, r.F1[i])
+	}
+	fmt.Fprintln(w, "paper: accuracy stays high for weeks, drifts slowly; retrain ~monthly")
+}
+
+// driftedMix perturbs the default mix: workload composition and lifetime
+// medians shift gradually (new workloads arrive, existing ones change,
+// §6.6).
+func driftedMix(weeks int) []workload.TypeSpec {
+	mix := workload.DefaultMix()
+	f := float64(weeks)
+	for i := range mix {
+		// Gradually shift arrival shares between batch and serving types.
+		if mix[i].Spot {
+			mix[i].Weight *= 1 - 0.03*f
+		} else {
+			mix[i].Weight *= 1 + 0.05*f
+		}
+		for j := range mix[i].Modes {
+			mix[i].Modes[j].MedianHours *= 1 + 0.04*f
+		}
+		// New behaviour appears under new metadata tags.
+		mix[i].MetadataIDs += 2 * weeks
+	}
+	return mix
+}
+
+func runFig10(opt Options) (Report, error) {
+	train, _, err := trainTestSplit(opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(400, opt.Scale, 120)})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig10Report{}
+	for _, wk := range []int{0, 1, 2, 4, 6, 8} {
+		tr, err := workload.Generate(workload.PoolSpec{
+			Name: fmt.Sprintf("drift-%d", wk), Zone: "eval-zone",
+			Hosts: scaleInt(64, opt.Scale, 16), TargetUtil: 0.65,
+			Duration: scaleDur(2*simtime.Week, opt.Scale, 4*simtime.Day),
+			Seed:     opt.Seed + 31*int64(wk) + 5, Mix: driftedMix(wk),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var predicted, actual []time.Duration
+		for _, rec := range tr.Records {
+			predicted = append(predicted, g.PredictRemaining(vmOf(rec), 0))
+			actual = append(actual, rec.Lifetime)
+		}
+		// Best F1 over score thresholds (the paper tunes an operating
+		// point on the model score rather than comparing raw predictions
+		// to the capped 168h boundary).
+		curve, err := eval.PRCurve(predicted, actual)
+		if err != nil {
+			return nil, err
+		}
+		best := 0.0
+		for _, pt := range curve {
+			if pt.Precision+pt.Recall > 0 {
+				if f1 := 2 * pt.Precision * pt.Recall / (pt.Precision + pt.Recall); f1 > best {
+					best = f1
+				}
+			}
+		}
+		rep.WeeksAfter = append(rep.WeeksAfter, wk)
+		rep.F1 = append(rep.F1, best)
+	}
+	return rep, nil
+}
+
+// --- Fig. 11: feature importance ---------------------------------------------------
+
+// Fig11Report ranks features by GBDT split score.
+type Fig11Report struct {
+	Features   []string
+	Importance []float64
+}
+
+// Name implements Report.
+func (r *Fig11Report) Name() string { return "fig11" }
+
+// Render implements Report.
+func (r *Fig11Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 11 — Feature importance (split score)")
+	for i, f := range r.Features {
+		fmt.Fprintf(w, "%-18s %.3f\n", f, r.Importance[i])
+	}
+	fmt.Fprintln(w, "paper: admission policy, host pool (zone) and VM shape dominate")
+}
+
+func runFig11(opt Options) (Report, error) {
+	train, _, err := trainTestSplit(opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(400, opt.Scale, 120)})
+	if err != nil {
+		return nil, err
+	}
+	imp := g.M.Importance()
+	type fi struct {
+		name string
+		v    float64
+	}
+	fis := make([]fi, len(imp))
+	for i := range imp {
+		fis[i] = fi{features.FieldNames[i], imp[i]}
+	}
+	sort.Slice(fis, func(i, j int) bool { return fis[i].v > fis[j].v })
+	rep := &Fig11Report{}
+	for _, f := range fis {
+		rep.Features = append(rep.Features, f.name)
+		rep.Importance = append(rep.Importance, f.v)
+	}
+	return rep, nil
+}
+
+// --- Fig. 12: log10 error histogram --------------------------------------------------
+
+// Fig12Report compares the prediction-error distribution with and without
+// repredictions (Appendix C).
+type Fig12Report struct {
+	Edges           []float64
+	CountsOneShot   []int
+	CountsRepredict []int
+	MeanOneShot     float64
+	MeanRepredict   float64
+}
+
+// Name implements Report.
+func (r *Fig12Report) Name() string { return "fig12" }
+
+// Render implements Report.
+func (r *Fig12Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 12 — |log10 error| histogram (one-shot vs with repredictions)")
+	for i := range r.Edges {
+		fmt.Fprintf(w, ">= %4.2f | one-shot %6d | repredict %6d\n", r.Edges[i], r.CountsOneShot[i], r.CountsRepredict[i])
+	}
+	fmt.Fprintf(w, "mean |log10 err|: one-shot %.3f, with repredictions %.3f (paper: reprediction skews left)\n",
+		r.MeanOneShot, r.MeanRepredict)
+}
+
+func runFig12(opt Options) (Report, error) {
+	train, test, err := trainTestSplit(opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(400, opt.Scale, 120)})
+	if err != nil {
+		return nil, err
+	}
+	var oneShot, repredict []float64
+	for _, rec := range test {
+		vm := vmOf(rec)
+		lt := rec.Lifetime
+		if lt > simtime.CapLifetime {
+			lt = simtime.CapLifetime
+		}
+		oneShot = append(oneShot, eval.Log10Error(g.PredictRemaining(vm, 0), lt))
+		// Repredictions at several uptimes, as logged by the simulator runs.
+		for _, f := range []float64{0, 0.25, 0.5, 0.75} {
+			uptime := time.Duration(f * float64(rec.Lifetime))
+			rem := rec.Lifetime - uptime
+			if rem > simtime.CapLifetime {
+				rem = simtime.CapLifetime
+			}
+			repredict = append(repredict, eval.Log10Error(g.PredictRemaining(vm, uptime), rem))
+		}
+	}
+	edges, c1 := eval.ErrorHistogram(oneShot, 0.5)
+	_, c2 := eval.ErrorHistogram(repredict, 0.5)
+	// Align histogram lengths.
+	for len(c2) < len(c1) {
+		c2 = append(c2, 0)
+	}
+	for len(c1) < len(c2) {
+		c1 = append(c1, 0)
+		edges = append(edges, edges[len(edges)-1]+0.5)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	return &Fig12Report{
+		Edges: edges, CountsOneShot: c1, CountsRepredict: c2,
+		MeanOneShot: mean(oneShot), MeanRepredict: mean(repredict),
+	}, nil
+}
+
+// --- Table 4: model comparison ----------------------------------------------------------
+
+// Table4Row is one model family's metrics. Precision is reported at the
+// paper's operating point (recall 0.7); F1 is the best achievable over
+// decision thresholds — the paper likewise tunes an operating point on the
+// model score rather than comparing raw regressions to the capped 168h
+// boundary.
+type Table4Row struct {
+	Model      string
+	CIndex     float64
+	PrecAtR70  float64
+	BestF1     float64
+	MeanAbsErr float64 // mean |log10 error|, lower is better
+}
+
+// Table4Report compares the model families of Table 4.
+type Table4Report struct {
+	Rows []Table4Row
+}
+
+// Name implements Report.
+func (r *Table4Report) Name() string { return "table4" }
+
+// Render implements Report.
+func (r *Table4Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 4 — Comparison of lifetime models")
+	fmt.Fprintln(w, "model              | C-index | P@R=0.70 | best F1 | |log10 err|")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s | %7.2f | %8.2f | %7.2f | %.3f\n",
+			row.Model, row.CIndex, row.PrecAtR70, row.BestF1, row.MeanAbsErr)
+	}
+	fmt.Fprintln(w, "paper: GBDT best (C .84, P .99 at R .70, F1 .80); stratified KM worst")
+}
+
+func runTable4(opt Options) (Report, error) {
+	train, test, err := trainTestSplit(opt)
+	if err != nil {
+		return nil, err
+	}
+	preds := []model.Predictor{}
+
+	g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(400, opt.Scale, 120)})
+	if err != nil {
+		return nil, err
+	}
+	preds = append(preds, g)
+
+	m, err := model.TrainMLP(train, mlp.Params{Epochs: scaleInt(30, opt.Scale, 10), Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	preds = append(preds, m)
+
+	k, err := model.TrainKM(train, nil)
+	if err != nil {
+		return nil, err
+	}
+	preds = append(preds, k)
+
+	// Cox is O(n^2)-ish in our implementation; subsample training data.
+	coxTrain := train
+	if len(coxTrain) > 4000 {
+		coxTrain = coxTrain[:4000]
+	}
+	c, err := model.TrainCox(coxTrain, cox.Options{})
+	if err != nil {
+		return nil, err
+	}
+	preds = append(preds, c)
+
+	rep := &Table4Report{}
+	evalSet := test
+	if len(evalSet) > 2000 {
+		evalSet = evalSet[:2000]
+	}
+	for _, p := range preds {
+		var predicted, actual []time.Duration
+		for _, rec := range evalSet {
+			predicted = append(predicted, p.PredictRemaining(vmOf(rec), 0))
+			lt := rec.Lifetime
+			if lt > simtime.CapLifetime {
+				lt = simtime.CapLifetime
+			}
+			actual = append(actual, lt)
+		}
+		ci, err := eval.CIndex(predicted, actual)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := eval.PRCurve(predicted, actual)
+		if err != nil {
+			return nil, err
+		}
+		bestF1 := 0.0
+		for _, pt := range curve {
+			if pt.Precision+pt.Recall > 0 {
+				if f1 := 2 * pt.Precision * pt.Recall / (pt.Precision + pt.Recall); f1 > bestF1 {
+					bestF1 = f1
+				}
+			}
+		}
+		mae, err := eval.MeanAbsLog10Error(predicted, actual)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Table4Row{
+			Model: p.Name(), CIndex: ci,
+			PrecAtR70:  eval.PrecisionAtRecall(curve, 0.7),
+			BestF1:     bestF1,
+			MeanAbsErr: mae,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,575 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lava/internal/causal"
+	"lava/internal/defrag"
+	"lava/internal/metrics"
+	"lava/internal/model"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/simtime"
+	"lava/internal/stats"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+func init() {
+	register("table1", runTable1)
+	register("fig7", runFig7)
+	register("table2", runTable2)
+	register("fig14", runFig14)
+	register("theorem1", runTheorem1)
+}
+
+// --- production pilots: A/B and whole-pool (Table 1, Fig. 7) -------------------
+
+// Table1Row is one pilot pool's outcome.
+type Table1Row struct {
+	Pool    string
+	Kind    string // "A/B" or "whole-pool"
+	DeltaPP float64
+	PValue  float64 // A/B rows (Welch t-test)
+	CILo    float64 // whole-pool rows (causal CI, pp)
+	CIHi    float64
+}
+
+// Table1Report reproduces the pilot table.
+type Table1Report struct {
+	Rows []Table1Row
+}
+
+// Name implements Report.
+func (r *Table1Report) Name() string { return "table1" }
+
+// Render implements Report.
+func (r *Table1Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — NILAS empty-host improvements in pilot pools")
+	for _, row := range r.Rows {
+		switch row.Kind {
+		case "A/B":
+			fmt.Fprintf(w, "%-10s %-10s %+0.1f pp (p-value = %.3f)\n", row.Pool, row.Kind, row.DeltaPP, row.PValue)
+		default:
+			fmt.Fprintf(w, "%-10s %-10s %+0.1f pp (95%% CI: [%.2f, %.2f])\n", row.Pool, row.Kind, row.DeltaPP, row.CILo, row.CIHi)
+		}
+	}
+	fmt.Fprintln(w, "paper: +2.3 to +9.2 pp across A/B pilots; +4.9 pp wave-3; +6.1 pp E2")
+}
+
+// abSplit divides a trace's records into two equal demand streams,
+// emulating the host-split A/B methodology (§5.2) as two half-pools
+// receiving statistically identical workloads. The split is stratified by
+// VM category and shape: heavy long-lived types carry most core-hours, so
+// unstratified random halves would differ wildly in offered load at
+// simulation scale (production pools are large enough not to care).
+func abSplit(tr *trace.Trace) (a, b *trace.Trace) {
+	mk := func() *trace.Trace {
+		cp := *tr
+		cp.Hosts = tr.Hosts / 2
+		cp.Records = nil
+		return &cp
+	}
+	a, b = mk(), mk()
+	counters := map[string]int{}
+	for _, r := range tr.Records {
+		// Matched-pairs design: consecutive VMs of the same category,
+		// shape and lifetime decade alternate between the halves. This is
+		// a pure variance-reduction device available to a simulation
+		// study; production A/B relies on pool size instead.
+		key := fmt.Sprintf("%s|%s|%d", r.Feat.VMCategory, r.Feat.VMShape, int(simtime.Log10Hours(r.Lifetime)))
+		counters[key]++
+		if counters[key]%2 == 1 {
+			a.Records = append(a.Records, r)
+		} else {
+			b.Records = append(b.Records, r)
+		}
+	}
+	return a, b
+}
+
+func runTable1(opt Options) (Report, error) {
+	pred, err := trainedModel(opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Table1Report{}
+
+	// Three A/B pilots on different pools. Pilot pools are generated at
+	// twice the study size so each A/B half remains a realistically sized
+	// pool (§5.2: production A/B splits run at production scale).
+	for i := 0; i < 3; i++ {
+		tr, err := workload.Generate(workload.PoolSpec{
+			Name:       fmt.Sprintf("pilot-%d", i+1),
+			Zone:       "pilot-zone",
+			Hosts:      scaleInt(320, opt.Scale, 64),
+			TargetUtil: []float64{0.6, 0.65, 0.7}[i],
+			Duration:   scaleDur(7*simtime.Week, opt.Scale, 4*simtime.Day),
+			Prefill:    scaleDur(3*simtime.Week, opt.Scale, 8*simtime.Day),
+			Seed:       opt.Seed + int64(1000*(10+i)),
+			Diurnal:    0.3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ta, tb := abSplit(tr)
+		ctl, err := runPolicy(ta, scheduler.NewWasteMin())
+		if err != nil {
+			return nil, err
+		}
+		trt, err := runPolicy(tb, scheduler.NewNILAS(pred, time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		ctlVals := ctl.Series.After(tr.WarmUp).Values(metrics.EmptyHostFrac)
+		trtVals := trt.Series.After(tr.WarmUp).Values(metrics.EmptyHostFrac)
+		tt, err := stats.WelchTTest(trtVals, ctlVals)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Table1Row{
+			Pool:    fmt.Sprintf("pilot-%d", i+1),
+			Kind:    "A/B",
+			DeltaPP: 100 * (stats.Mean(trtVals) - stats.Mean(ctlVals)),
+			PValue:  tt.P,
+		})
+	}
+
+	// Whole-pool pilots (wave-3 C2 and an E2 pool): switch the policy
+	// mid-run and apply the causal analysis.
+	for _, pool := range []struct {
+		name string
+		mix  []workload.TypeSpec
+	}{
+		{"wave3-c2", nil},
+		{"e2-pool", workload.E2Mix()},
+	} {
+		res, err := wholePoolPilot(opt, pred, pool.name, pool.mix)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Table1Row{
+			Pool:    pool.name,
+			Kind:    "whole-pool",
+			DeltaPP: 100 * res.AvgEffect,
+			CILo:    100 * res.CI[0],
+			CIHi:    100 * res.CI[1],
+		})
+	}
+	return rep, nil
+}
+
+// wholePoolPilot runs a pre/post rollout and the causal analysis.
+func wholePoolPilot(opt Options, pred model.Predictor, name string, mix []workload.TypeSpec) (*causal.Result, error) {
+	steady := scaleDur(6*simtime.Week, opt.Scale, 12*simtime.Day)
+	prefill := scaleDur(3*simtime.Week, opt.Scale, 8*simtime.Day)
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: name, Zone: "pilot-zone", Hosts: scaleInt(160, opt.Scale, 32),
+		TargetUtil: 0.65, Duration: steady, Prefill: prefill,
+		Seed: opt.Seed + int64(len(name))*131, Diurnal: 0.3, Mix: mix,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switchAt := prefill + steady/2
+	pol := scheduler.NewSwitched(scheduler.NewWasteMin(), scheduler.NewNILAS(pred, time.Minute), switchAt)
+	res, err := sim.Run(sim.Config{Trace: tr, Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	series := res.Series.After(tr.WarmUp)
+	vals := series.Values(metrics.EmptyHostFrac)
+	// Index of the switch within the post-warm-up series.
+	preEnd := 0
+	for i, s := range series.Samples {
+		if s.Time >= switchAt {
+			preEnd = i
+			break
+		}
+	}
+	return causal.Analyze(causal.Input{Treated: vals, PreEnd: preEnd}, opt.Seed)
+}
+
+// Fig7Report renders the three CausalImpact panels as a text series.
+type Fig7Report struct {
+	Times          []float64 // hours
+	Observed       []float64
+	Counterfactual []float64
+	Pointwise      []float64
+	Cumulative     []float64
+	SwitchIdx      int
+	AvgEffectPP    float64
+}
+
+// Name implements Report.
+func (r *Fig7Report) Name() string { return "fig7" }
+
+// Render implements Report.
+func (r *Fig7Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 7 — CausalImpact panels for the wave-3 rollout (sampled)")
+	fmt.Fprintln(w, "t(h)    | observed | counterfactual | pointwise | cumulative")
+	step := len(r.Times) / 24
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(r.Times); i += step {
+		marker := " "
+		if i >= r.SwitchIdx && i-step < r.SwitchIdx {
+			marker = "*" // rollout
+		}
+		fmt.Fprintf(w, "%7.0f%s | %8.4f | %14.4f | %+9.4f | %+10.3f\n",
+			r.Times[i], marker, r.Observed[i], r.Counterfactual[i], r.Pointwise[i], r.Cumulative[i])
+	}
+	fmt.Fprintf(w, "average post-rollout effect: %+.2f pp (paper: +4.9 pp)\n", r.AvgEffectPP)
+}
+
+func runFig7(opt Options) (Report, error) {
+	pred, err := trainedModel(opt)
+	if err != nil {
+		return nil, err
+	}
+	steady := scaleDur(6*simtime.Week, opt.Scale, 12*simtime.Day)
+	prefill := scaleDur(3*simtime.Week, opt.Scale, 8*simtime.Day)
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: "fig7", Zone: "pilot-zone", Hosts: scaleInt(160, opt.Scale, 32),
+		TargetUtil: 0.65, Duration: steady, Prefill: prefill,
+		Seed: opt.Seed + 4242, Diurnal: 0.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switchAt := prefill + steady/2
+	pol := scheduler.NewSwitched(scheduler.NewWasteMin(), scheduler.NewNILAS(pred, time.Minute), switchAt)
+	res, err := sim.Run(sim.Config{Trace: tr, Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	series := res.Series.After(tr.WarmUp)
+	vals := series.Values(metrics.EmptyHostFrac)
+	preEnd := 0
+	for i, s := range series.Samples {
+		if s.Time >= switchAt {
+			preEnd = i
+			break
+		}
+	}
+	ca, err := causal.Analyze(causal.Input{Treated: vals, PreEnd: preEnd}, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Report{
+		Times:          series.Times(),
+		Observed:       vals,
+		Counterfactual: ca.Counterfactual,
+		Pointwise:      ca.PointEffect,
+		Cumulative:     ca.CumulativeEffect,
+		SwitchIdx:      preEnd,
+		AvgEffectPP:    100 * ca.AvgEffect,
+	}, nil
+}
+
+// --- Table 2: LARS ------------------------------------------------------------------
+
+// Table2Row is one trace's migration counts.
+type Table2Row struct {
+	Trace     string
+	Scheduled int
+	Baseline  int
+	LARS      int
+	Reduction float64
+}
+
+// Table2Report reproduces the LARS migration-reduction table.
+type Table2Report struct {
+	Rows []Table2Row
+}
+
+// Name implements Report.
+func (r *Table2Report) Name() string { return "table2" }
+
+// Render implements Report.
+func (r *Table2Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — VM migration reductions using LARS (oracle lifetimes)")
+	fmt.Fprintln(w, "trace | scheduled | baseline migr. | LARS migr. | reduction")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-5s | %9d | %14d | %10d | %.2f%%\n",
+			row.Trace, row.Scheduled, row.Baseline, row.LARS, 100*row.Reduction)
+	}
+	fmt.Fprintln(w, "paper: 4.32% and 4.55% reductions on two one-month traces")
+}
+
+func runTable2(opt Options) (Report, error) {
+	rep := &Table2Report{}
+	for i := 0; i < 2; i++ {
+		tr, err := workload.Generate(workload.PoolSpec{
+			Name: fmt.Sprintf("defrag-%d", i+1), Zone: "defrag-zone",
+			Hosts: scaleInt(96, opt.Scale, 24), TargetUtil: 0.6,
+			Duration: scaleDur(4*simtime.Week, opt.Scale, 6*simtime.Day),
+			Prefill:  scaleDur(2*simtime.Week, opt.Scale, 8*simtime.Day),
+			Seed:     opt.Seed + int64(9000+i), Diurnal: 0.3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Record the migration plan from one live run (the plan — which
+		// hosts drain, when, with which VMs — is what the paper collects
+		// from production traces)...
+		eng := defrag.New(defrag.Config{
+			Strategy: defrag.OrderTrace,
+			Policy:   scheduler.NewWasteMin(),
+			Pred:     model.Oracle{}, // §6.3 uses oracle lifetimes
+			// Near-continuous defragmentation: the paper's Table 2 traces
+			// migrate a large fraction of scheduled VMs, i.e. the
+			// migration queue is persistently contended.
+			Threshold: 0.95, HostsPerRound: 12, CheckEvery: time.Hour,
+		})
+		res, err := sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewWasteMin(), Components: []sim.Component{eng}})
+		if err != nil {
+			return nil, err
+		}
+		// ...then replay the identical plan through the slot-constrained
+		// queue under both orderings (§5.1): only the order differs. The
+		// baseline uses a lifetime-agnostic (shuffled) order, matching the
+		// paper's production migration lists; our creation order is already
+		// nearly lifetime-sorted (old VMs are long-lived) and would be an
+		// unrealistically strong baseline (see EXPERIMENTS.md).
+		base := defrag.ReplayPlan(eng.Plan, defrag.OrderShuffled, 3, 20*time.Minute)
+		lars := defrag.ReplayPlan(eng.Plan, defrag.OrderLARS, 3, 20*time.Minute)
+		row := Table2Row{
+			Trace: fmt.Sprintf("%d", i+1), Scheduled: res.Placements,
+			Baseline: base.Performed, LARS: lars.Performed,
+		}
+		if base.Performed > 0 {
+			row.Reduction = 1 - float64(lars.Performed)/float64(base.Performed)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// --- Fig. 14: simulator validation ------------------------------------------------------
+
+// Fig14Report validates the simulator: pool utilization under replay must
+// track the trace's direct demand integration closely (Appendix F reports a
+// mean gap of 1.59%).
+type Fig14Report struct {
+	MeanAbsGap float64
+	StdGap     float64
+	Samples    int
+}
+
+// Name implements Report.
+func (r *Fig14Report) Name() string { return "fig14" }
+
+// Render implements Report.
+func (r *Fig14Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 14 — Simulator validation (CPU utilization vs direct demand)")
+	fmt.Fprintf(w, "mean |gap| = %.3f%%, std = %.3f%% over %d samples\n", 100*r.MeanAbsGap, 100*r.StdGap, r.Samples)
+	fmt.Fprintln(w, "paper: simulated utilization within 1.59% of ground truth (std 0.23%)")
+}
+
+func runFig14(opt Options) (Report, error) {
+	tr, err := studyTrace(opt, 11, 0.65)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runPolicy(tr, scheduler.NewWasteMin())
+	if err != nil {
+		return nil, err
+	}
+	totalCPU := float64(tr.HostCPU) * float64(tr.Hosts)
+
+	// Ground truth: direct integration of trace demand at each sample time,
+	// counting only VMs the simulator also admitted (capacity failures are
+	// simulator artifacts we must not penalize twice).
+	var gaps []float64
+	for _, s := range res.Series.After(tr.WarmUp).Samples {
+		var demand float64
+		for _, rec := range tr.Records {
+			if rec.Arrival <= s.Time && rec.Exit() > s.Time {
+				demand += float64(rec.Shape.CPUMilli)
+			}
+		}
+		want := demand / totalCPU
+		gaps = append(gaps, math.Abs(s.CPUUtil-want))
+	}
+	rep := &Fig14Report{Samples: len(gaps)}
+	rep.MeanAbsGap = stats.Mean(gaps)
+	rep.StdGap = stats.StdDev(gaps)
+	return rep, nil
+}
+
+// --- Theorem 1: reprediction beats one-shot by Omega(m) -----------------------------------
+
+// Theorem1Report demonstrates the Appendix E separation: with a constant
+// error rate, the number of hosts a one-shot scheduler needs grows linearly
+// in m relative to a repredicting scheduler.
+type Theorem1Report struct {
+	PoolSizes []int
+	OneShot   []float64 // avg non-empty hosts
+	Repredict []float64
+	Gap       []float64
+}
+
+// Name implements Report.
+func (r *Theorem1Report) Name() string { return "theorem1" }
+
+// Render implements Report.
+func (r *Theorem1Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Theorem 1 — one-shot vs repredicting scheduler, two-lifetime workload")
+	fmt.Fprintln(w, "hosts m | one-shot busy | repredict busy | gap")
+	for i, m := range r.PoolSizes {
+		fmt.Fprintf(w, "%7d | %13.1f | %14.1f | %4.1f\n", m, r.OneShot[i], r.Repredict[i], r.Gap[i])
+	}
+	fmt.Fprintln(w, "paper (Appendix E): the gap grows as Omega(m)")
+}
+
+// runTheorem1 simulates the proof's abstract model directly (Appendix E):
+// m hosts of capacity k; Short jobs (1h) arriving in hourly bursts that
+// fully drain between bursts; Long jobs (lasting the whole horizon)
+// arriving steadily, an epsilon fraction of them mispredicted as Short.
+// Hosts are classified S or L. The learning variant discovers a job's true
+// class once it has run for S time ("once a job has run for S units of
+// time, we learn whether it is short or long") and re-classifies the host;
+// the no-learning variant never does. Predicted-S jobs go to S-class
+// hosts, predicted-L jobs to L-class hosts.
+//
+// Without learning, every mispredicted Long pins an S host that can never
+// drain, and pinned hosts accumulate to Theta(m); with learning, pinned
+// hosts become L hosts and absorb the Long stream at full density k.
+func runTheorem1(opt Options) (Report, error) {
+	rep := &Theorem1Report{}
+	for _, m := range []int{16, 32, 64} {
+		one := theoremModel(m, false)
+		re := theoremModel(m, true)
+		rep.PoolSizes = append(rep.PoolSizes, m)
+		rep.OneShot = append(rep.OneShot, one)
+		rep.Repredict = append(rep.Repredict, re)
+		rep.Gap = append(rep.Gap, one-re)
+	}
+	return rep, nil
+}
+
+// theoremModel runs the two-lifetime model for pool size m and returns the
+// average number of non-empty hosts during drain windows.
+func theoremModel(m int, learning bool) float64 {
+	const (
+		k         = 8   // jobs per host
+		horizonH  = 100 // hours; Long jobs live to the end
+		shortMin  = 30  // short lifetime, minutes
+		measFromH = 50  // measure over the second half
+	)
+	type job struct {
+		exitMin int // minute of exit (beyond horizon for longs)
+		predL   bool
+		trueL   bool
+		bornMin int
+	}
+	type host struct{ jobs []job }
+	hosts := make([]host, m)
+
+	classL := func(h *host, now int) bool {
+		for _, j := range h.jobs {
+			if j.predL {
+				return true
+			}
+			if learning && j.trueL && now-j.bornMin >= 60 {
+				return true // truth revealed after S time
+			}
+		}
+		return false
+	}
+	place := func(j job, now int) {
+		// First matching-class host with space (lowest ID), else first
+		// empty host, else first host with space.
+		pick := -1
+		for i := range hosts {
+			if len(hosts[i].jobs) >= k || len(hosts[i].jobs) == 0 {
+				continue
+			}
+			if classL(&hosts[i], now) == j.predL {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			for i := range hosts {
+				if len(hosts[i].jobs) == 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			for i := range hosts {
+				if len(hosts[i].jobs) < k {
+					pick = i
+					break
+				}
+			}
+		}
+		if pick >= 0 {
+			hosts[pick].jobs = append(hosts[pick].jobs, j)
+		}
+	}
+
+	burst := m * k / 4             // shorts per hourly burst (quarter pool)
+	longsPerHour := mypos(m/12, 1) // steady Long arrivals
+	hiddenEvery := 5               // every 5th Long is mispredicted (epsilon 0.2)
+
+	longCount := 0
+	busySum, samples := 0.0, 0
+	for min := 0; min < horizonH*60; min++ {
+		// Exits.
+		for i := range hosts {
+			js := hosts[i].jobs[:0]
+			for _, j := range hosts[i].jobs {
+				if j.exitMin > min {
+					js = append(js, j)
+				}
+			}
+			hosts[i].jobs = js
+		}
+		// Hourly burst of shorts at the top of the hour.
+		if min%60 == 0 {
+			for b := 0; b < burst; b++ {
+				place(job{exitMin: min + shortMin, bornMin: min}, min)
+			}
+		}
+		// Long arrivals spread within the hour (minutes 1..longsPerHour).
+		if m60 := min % 60; m60 >= 1 && m60 <= longsPerHour {
+			longCount++
+			j := job{exitMin: horizonH*60 + 1, trueL: true, predL: true, bornMin: min}
+			if longCount%hiddenEvery == 0 {
+				j.predL = false // mispredicted as Short
+			}
+			place(j, min)
+		}
+		// Sample during the drain window (minute 55 of each hour).
+		if min%60 == 55 && min >= measFromH*60 {
+			busy := 0
+			for i := range hosts {
+				if len(hosts[i].jobs) > 0 {
+					busy++
+				}
+			}
+			busySum += float64(busy)
+			samples++
+		}
+	}
+	if samples == 0 {
+		return 0
+	}
+	return busySum / float64(samples)
+}
+
+// mypos returns max(a, lo).
+func mypos(a, lo int) int {
+	if a < lo {
+		return lo
+	}
+	return a
+}

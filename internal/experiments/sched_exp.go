@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/model"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/trace"
+)
+
+func init() {
+	register("fig6", runFig6)
+	register("fig13", runFig13)
+	register("fig15", runFig15)
+	register("fig16", runFig16)
+	register("fig17", runFig17)
+}
+
+// runPolicy executes one trace under one policy and returns the result.
+func runPolicy(tr *trace.Trace, p scheduler.Policy) (*sim.Result, error) {
+	return sim.Run(sim.Config{Trace: tr, Policy: p})
+}
+
+// --- Fig. 6: the headline study ------------------------------------------------
+
+// Fig6Pool is one pool's empty-host improvements over the baseline.
+type Fig6Pool struct {
+	Pool        string
+	Baseline    float64 // baseline empty-host fraction
+	LABinary    float64 // improvements in fractions (pp/100)
+	NILAS       float64
+	LAVA        float64
+	NILASOracle float64
+	LAOracle    float64
+}
+
+// Fig6Report reproduces the 24-pool empty-host study.
+type Fig6Report struct {
+	Pools []Fig6Pool
+	// Averages across pools, in percentage points / 100.
+	AvgLABinary, AvgNILAS, AvgLAVA    float64
+	AvgNILASOracle, AvgLABinaryOracle float64
+}
+
+// Name implements Report.
+func (r *Fig6Report) Name() string { return "fig6" }
+
+// Render implements Report.
+func (r *Fig6Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 6 — Empty-host improvement over baseline per pool")
+	fmt.Fprintln(w, "pool      | baseline | LA-Binary | NILAS    | LAVA     | LA(orac) | NILAS(orac)")
+	for _, p := range r.Pools {
+		fmt.Fprintf(w, "%-9s | %s | %s | %s | %s | %s | %s\n",
+			p.Pool, pct(p.Baseline), pp(p.LABinary), pp(p.NILAS), pp(p.LAVA), pp(p.LAOracle), pp(p.NILASOracle))
+	}
+	fmt.Fprintf(w, "average   |          | %s | %s | %s | %s | %s\n",
+		pp(r.AvgLABinary), pp(r.AvgNILAS), pp(r.AvgLAVA), pp(r.AvgLABinaryOracle), pp(r.AvgNILASOracle))
+	fmt.Fprintln(w, "paper: LAVA +6.5 pp, NILAS +6.1 pp, LA-Binary +5.0 pp (model);")
+	fmt.Fprintln(w, "       oracle NILAS +9.5 pp vs oracle LA +7.5 pp")
+}
+
+func runFig6(opt Options) (Report, error) {
+	pred, err := trainedModel(opt)
+	if err != nil {
+		return nil, err
+	}
+	nPools := scaleInt(24, opt.Scale, 4)
+	utils := []float64{0.55, 0.65, 0.75}
+	rep := &Fig6Report{}
+	for i := 0; i < nPools; i++ {
+		tr, err := studyTrace(opt, i, utils[i%len(utils)])
+		if err != nil {
+			return nil, err
+		}
+		base, err := runPolicy(tr, scheduler.NewWasteMin())
+		if err != nil {
+			return nil, err
+		}
+		la, err := runPolicy(tr, scheduler.NewLABinary(pred))
+		if err != nil {
+			return nil, err
+		}
+		nilas, err := runPolicy(tr, scheduler.NewNILAS(pred, time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		lava, err := runPolicy(tr, scheduler.NewLAVA(pred, time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		laO, err := runPolicy(tr, scheduler.NewLABinary(model.Oracle{}))
+		if err != nil {
+			return nil, err
+		}
+		nilasO, err := runPolicy(tr, scheduler.NewNILAS(model.Oracle{}, time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		p := Fig6Pool{
+			Pool:        tr.PoolName,
+			Baseline:    base.AvgEmptyHostFrac,
+			LABinary:    la.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
+			NILAS:       nilas.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
+			LAVA:        lava.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
+			LAOracle:    laO.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
+			NILASOracle: nilasO.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
+		}
+		rep.Pools = append(rep.Pools, p)
+		rep.AvgLABinary += p.LABinary
+		rep.AvgNILAS += p.NILAS
+		rep.AvgLAVA += p.LAVA
+		rep.AvgLABinaryOracle += p.LAOracle
+		rep.AvgNILASOracle += p.NILASOracle
+	}
+	n := float64(len(rep.Pools))
+	rep.AvgLABinary /= n
+	rep.AvgNILAS /= n
+	rep.AvgLAVA /= n
+	rep.AvgLABinaryOracle /= n
+	rep.AvgNILASOracle /= n
+	return rep, nil
+}
+
+// --- Fig. 13: metric equivalence -------------------------------------------------
+
+// Fig13Report shows the three bin-packing metrics move together (Appendix D).
+type Fig13Report struct {
+	Policies       []string
+	EmptyHosts     []float64 // deltas vs LA-Binary
+	EmptyToFree    []float64
+	PackingDensity []float64
+}
+
+// Name implements Report.
+func (r *Fig13Report) Name() string { return "fig13" }
+
+// Render implements Report.
+func (r *Fig13Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 13 — Relative improvements vs LA-Binary across metrics")
+	fmt.Fprintln(w, "policy   | empty hosts | empty-to-free | packing density")
+	for i, p := range r.Policies {
+		fmt.Fprintf(w, "%-8s | %s | %s | %s\n",
+			p, pp(r.EmptyHosts[i]), pp(r.EmptyToFree[i]), pp(r.PackingDensity[i]))
+	}
+	fmt.Fprintln(w, "paper: the three metrics are correlated; improving one improves the others")
+}
+
+func runFig13(opt Options) (Report, error) {
+	pred, err := trainedModel(opt)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := studyTrace(opt, 3, 0.65)
+	if err != nil {
+		return nil, err
+	}
+	la, err := runPolicy(tr, scheduler.NewLABinary(pred))
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig13Report{}
+	for _, pc := range []struct {
+		name string
+		p    scheduler.Policy
+	}{
+		{"nilas", scheduler.NewNILAS(pred, time.Minute)},
+		{"lava", scheduler.NewLAVA(pred, time.Minute)},
+	} {
+		res, err := runPolicy(tr, pc.p)
+		if err != nil {
+			return nil, err
+		}
+		rep.Policies = append(rep.Policies, pc.name)
+		rep.EmptyHosts = append(rep.EmptyHosts, res.AvgEmptyHostFrac-la.AvgEmptyHostFrac)
+		rep.EmptyToFree = append(rep.EmptyToFree, res.AvgEmptyToFree-la.AvgEmptyToFree)
+		rep.PackingDensity = append(rep.PackingDensity, res.AvgPackingDensity-la.AvgPackingDensity)
+	}
+	return rep, nil
+}
+
+// --- Fig. 15: accuracy sweep ---------------------------------------------------------
+
+// Fig15Report sweeps prediction accuracy with the noisy oracle (App. G.1).
+type Fig15Report struct {
+	Accuracies []float64
+	NILAS      []float64 // improvement over baseline at each accuracy
+	LAVA       []float64
+}
+
+// Name implements Report.
+func (r *Fig15Report) Name() string { return "fig15" }
+
+// Render implements Report.
+func (r *Fig15Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 15 — Empty-host improvement vs prediction accuracy")
+	fmt.Fprintln(w, "accuracy | NILAS    | LAVA")
+	for i, a := range r.Accuracies {
+		fmt.Fprintf(w, "%7.2f  | %s | %s\n", a, pp(r.NILAS[i]), pp(r.LAVA[i]))
+	}
+	fmt.Fprintln(w, "paper: improvements persist across accuracies; LAVA tolerates low accuracy better")
+}
+
+func runFig15(opt Options) (Report, error) {
+	tr, err := studyTrace(opt, 5, 0.65)
+	if err != nil {
+		return nil, err
+	}
+	base, err := runPolicy(tr, scheduler.NewWasteMin())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig15Report{}
+	for _, acc := range []float64{0.5, 0.7, 0.9, 1.0} {
+		noisy := &model.NoisyOracle{Accuracy: acc, Seed: opt.Seed}
+		n, err := runPolicy(tr, scheduler.NewNILAS(noisy, time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		l, err := runPolicy(tr, scheduler.NewLAVA(noisy, time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		rep.Accuracies = append(rep.Accuracies, acc)
+		rep.NILAS = append(rep.NILAS, n.AvgEmptyHostFrac-base.AvgEmptyHostFrac)
+		rep.LAVA = append(rep.LAVA, l.AvgEmptyHostFrac-base.AvgEmptyHostFrac)
+	}
+	return rep, nil
+}
+
+// --- Fig. 16: ablations & theoretical limit ---------------------------------------------
+
+// Fig16Report compares NILAS variants against the packing upper bound
+// (Appendix G.2).
+type Fig16Report struct {
+	Rows  []string
+	Empty []float64
+}
+
+// Name implements Report.
+func (r *Fig16Report) Name() string { return "fig16" }
+
+// Render implements Report.
+func (r *Fig16Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 16 — NILAS ablations vs theoretical limit (avg empty-host fraction)")
+	for i, row := range r.Rows {
+		fmt.Fprintf(w, "%-34s %s\n", row, pct(r.Empty[i]))
+	}
+	fmt.Fprintln(w, "paper: ideal NILAS (oracle, cold start) is near-optimal; no-reprediction is much worse")
+}
+
+// frozenPredictor disables repredictions: it predicts once per VM and then
+// only subtracts elapsed time — the Fig. 16 "no reprediction" ablation.
+type frozenPredictor struct {
+	inner model.Predictor
+}
+
+func (f frozenPredictor) Name() string { return f.inner.Name() + "-frozen" }
+
+func (f frozenPredictor) PredictRemaining(vm *cluster.VM, uptime time.Duration) time.Duration {
+	if vm.InitialPrediction == 0 {
+		vm.InitialPrediction = f.inner.PredictRemaining(vm, 0)
+	}
+	rem := vm.InitialPrediction - uptime
+	if rem <= 0 {
+		return model.MinRemaining(uptime)
+	}
+	return rem
+}
+
+func runFig16(opt Options) (Report, error) {
+	pred, err := trainedModel(opt)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := studyTrace(opt, 7, 0.65)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Fig16Report{}
+	add := func(name string, v float64) {
+		rep.Rows = append(rep.Rows, name)
+		rep.Empty = append(rep.Empty, v)
+	}
+
+	// Theoretical optimum: all load packed with zero waste; empty hosts =
+	// unused capacity (the lower of CPU/memory headroom), averaged over the
+	// steady window.
+	optRes, err := runPolicy(tr, scheduler.NewWasteMin())
+	if err != nil {
+		return nil, err
+	}
+	steady := optRes.Series.After(tr.WarmUp)
+	var optEmpty float64
+	for _, s := range steady.Samples {
+		util := s.CPUUtil
+		if s.MemUtil > util {
+			util = s.MemUtil
+		}
+		optEmpty += 1 - util
+	}
+	if steady.Len() > 0 {
+		optEmpty /= float64(steady.Len())
+	}
+	add("theoretical optimum", optEmpty)
+
+	// Ideal: oracle predictions with NILAS active from the first VM of the
+	// trace (cold start — no residue of lifetime-unaware placements).
+	ideal, err := runPolicy(tr, scheduler.NewNILAS(model.Oracle{}, time.Minute))
+	if err != nil {
+		return nil, err
+	}
+	add("NILAS oracle, cold start", ideal.AvgEmptyHostFrac)
+
+	// Warm start: the prefill window is placed by the lifetime-unaware
+	// baseline; NILAS takes over at the measurement boundary, inheriting
+	// residual placements (the production rollout situation, Appendix F).
+	warmStart := func(p scheduler.Policy) (*sim.Result, error) {
+		return sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewSwitched(
+			scheduler.NewWasteMin(), p, tr.WarmUp)})
+	}
+	nilasO, err := warmStart(scheduler.NewNILAS(model.Oracle{}, time.Minute))
+	if err != nil {
+		return nil, err
+	}
+	add("NILAS oracle, warm start", nilasO.AvgEmptyHostFrac)
+
+	nilasM, err := warmStart(scheduler.NewNILAS(pred, time.Minute))
+	if err != nil {
+		return nil, err
+	}
+	add("NILAS model, warm start", nilasM.AvgEmptyHostFrac)
+
+	frozen, err := warmStart(scheduler.NewNILAS(frozenPredictor{inner: pred}, time.Minute))
+	if err != nil {
+		return nil, err
+	}
+	add("NILAS model, no repredictions", frozen.AvgEmptyHostFrac)
+
+	add("baseline (waste-min)", optRes.AvgEmptyHostFrac)
+	return rep, nil
+}
+
+// --- Fig. 17: prediction caching ---------------------------------------------------------
+
+// Fig17Report is the score-cache ablation (Appendix G.3).
+type Fig17Report struct {
+	Intervals  []time.Duration
+	Empty      []float64
+	ModelCalls []int64
+}
+
+// Name implements Report.
+func (r *Fig17Report) Name() string { return "fig17" }
+
+// Render implements Report.
+func (r *Fig17Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 17 — Effect of caching predictions (NILAS)")
+	fmt.Fprintln(w, "refresh    | empty hosts | model calls")
+	for i, iv := range r.Intervals {
+		name := "none"
+		if iv > 0 {
+			name = iv.String()
+		}
+		fmt.Fprintf(w, "%-10s | %s | %d\n", name, pct(r.Empty[i]), r.ModelCalls[i])
+	}
+	fmt.Fprintln(w, "paper: caching at 1-15 min intervals does not hurt packing quality")
+}
+
+func runFig17(opt Options) (Report, error) {
+	pred, err := trainedModel(opt)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := studyTrace(opt, 9, 0.65)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig17Report{}
+	for _, iv := range []time.Duration{0, time.Minute, 15 * time.Minute} {
+		res, err := runPolicy(tr, scheduler.NewNILAS(pred, iv))
+		if err != nil {
+			return nil, err
+		}
+		rep.Intervals = append(rep.Intervals, iv)
+		rep.Empty = append(rep.Empty, res.AvgEmptyHostFrac)
+		rep.ModelCalls = append(rep.ModelCalls, res.ModelCalls)
+	}
+	return rep, nil
+}

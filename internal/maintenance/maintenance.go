@@ -1,0 +1,172 @@
+// Package maintenance models rolling host updates — kernel, microcode and
+// host-OS security patches (§2.3): "By increasing empty hosts, applying the
+// update to empty hosts first, and preferring new VMs land on updated
+// hosts, we speed up maintenance and reduce VM disruptions due to live
+// migrations."
+//
+// The Engine updates empty, not-yet-updated hosts (taking each out of
+// service for the update window), while the PreferUpdated policy wrapper
+// steers new VMs onto already-updated hosts so the remaining hosts drain
+// and become updatable. Rollout velocity is therefore a direct function of
+// empty-host availability — the mechanism by which NILAS/LAVA speed up
+// maintenance.
+package maintenance
+
+import (
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/scheduler"
+)
+
+// Config configures a rollout.
+type Config struct {
+	// StartAt is when the rollout begins.
+	StartAt time.Duration
+
+	// UpdateTime is how long a host is out of service while updating.
+	// Default 30 minutes.
+	UpdateTime time.Duration
+
+	// MaxConcurrent bounds hosts updating simultaneously (the reserved
+	// maintenance capacity of §4.4). Default 4.
+	MaxConcurrent int
+}
+
+func (c Config) withDefaults() Config {
+	if c.UpdateTime == 0 {
+		c.UpdateTime = 30 * time.Minute
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
+	return c
+}
+
+// Stats reports rollout progress.
+type Stats struct {
+	Updated     int           // hosts fully updated
+	CompletedAt time.Duration // 0 until the rollout finishes
+}
+
+// Engine is a sim.Component driving the rollout.
+type Engine struct {
+	cfg   Config
+	Stats Stats
+
+	updated  map[cluster.HostID]bool
+	updating map[cluster.HostID]time.Duration // host -> completion time
+	total    int
+}
+
+// New builds a rollout engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:      cfg.withDefaults(),
+		updated:  make(map[cluster.HostID]bool),
+		updating: make(map[cluster.HostID]time.Duration),
+	}
+}
+
+// IsUpdated reports whether the host finished its update.
+func (e *Engine) IsUpdated(id cluster.HostID) bool { return e.updated[id] }
+
+// Progress returns the fraction of hosts updated.
+func (e *Engine) Progress() float64 {
+	if e.total == 0 {
+		return 0
+	}
+	return float64(len(e.updated)) / float64(e.total)
+}
+
+// Done reports rollout completion.
+func (e *Engine) Done() bool { return e.total > 0 && len(e.updated) == e.total }
+
+// Tick implements the simulator component interface.
+func (e *Engine) Tick(pool *cluster.Pool, now time.Duration) {
+	if now < e.cfg.StartAt || e.Done() {
+		return
+	}
+	e.total = pool.NumHosts()
+
+	// Complete due updates: the host returns to service, updated.
+	for id, done := range e.updating {
+		if done > now {
+			continue
+		}
+		delete(e.updating, id)
+		e.updated[id] = true
+		e.Stats.Updated++
+		pool.Host(id).Unavailable = false
+	}
+	if e.Done() {
+		e.Stats.CompletedAt = now
+		return
+	}
+
+	// Start updates on empty, not-yet-updated hosts ("applying the update
+	// to empty hosts first").
+	for _, h := range pool.Hosts() {
+		if len(e.updating) >= e.cfg.MaxConcurrent {
+			break
+		}
+		if e.updated[h.ID] || h.Unavailable || !h.Empty() {
+			continue
+		}
+		if _, busy := e.updating[h.ID]; busy {
+			continue
+		}
+		h.Unavailable = true
+		e.updating[h.ID] = now + e.cfg.UpdateTime
+	}
+}
+
+// PreferUpdated wraps a scheduling policy so that new VMs land on updated
+// hosts whenever one fits ("preferring new VMs land on updated hosts"),
+// falling back to the full pool otherwise. Non-updated hosts therefore
+// drain toward empty, at which point the engine updates them.
+type PreferUpdated struct {
+	Inner  scheduler.Policy
+	Engine *Engine
+}
+
+// Name implements Policy.
+func (p *PreferUpdated) Name() string { return p.Inner.Name() + "+prefer-updated" }
+
+// Schedule implements Policy: first restrict candidates to updated hosts by
+// temporarily marking the rest unavailable; fall back to everything.
+func (p *PreferUpdated) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
+	if p.Engine.Done() || now < p.Engine.cfg.StartAt {
+		return p.Inner.Schedule(pool, vm, now)
+	}
+	var toggled []*cluster.Host
+	for _, h := range pool.Hosts() {
+		if !p.Engine.IsUpdated(h.ID) && !h.Unavailable {
+			h.Unavailable = true
+			toggled = append(toggled, h)
+		}
+	}
+	host, err := p.Inner.Schedule(pool, vm, now)
+	for _, h := range toggled {
+		h.Unavailable = false
+	}
+	if err == nil {
+		return host, nil
+	}
+	return p.Inner.Schedule(pool, vm, now)
+}
+
+// OnPlaced implements Policy.
+func (p *PreferUpdated) OnPlaced(pool *cluster.Pool, h *cluster.Host, vm *cluster.VM, now time.Duration) {
+	p.Inner.OnPlaced(pool, h, vm, now)
+}
+
+// OnExited implements Policy.
+func (p *PreferUpdated) OnExited(pool *cluster.Pool, h *cluster.Host, vm *cluster.VM, now time.Duration) {
+	p.Inner.OnExited(pool, h, vm, now)
+}
+
+// OnTick implements Policy.
+func (p *PreferUpdated) OnTick(pool *cluster.Pool, now time.Duration) {
+	p.Inner.OnTick(pool, now)
+}

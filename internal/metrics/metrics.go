@@ -1,0 +1,132 @@
+// Package metrics collects the time-series quality metrics the paper
+// reports: empty-host percentage (the primary metric, §2.3), empty-to-free
+// ratio and packing density (Appendix D), utilization, and scheduling
+// counters.
+package metrics
+
+import (
+	"errors"
+	"time"
+
+	"lava/internal/cluster"
+)
+
+// Sample is one point-in-time measurement of a pool.
+type Sample struct {
+	Time           time.Duration
+	EmptyHostFrac  float64
+	EmptyToFree    float64
+	PackingDensity float64
+	CPUUtil        float64
+	MemUtil        float64
+	NumVMs         int
+	NumEmptyHosts  int
+}
+
+// Snapshot measures the pool at the given time.
+func Snapshot(p *cluster.Pool, now time.Duration) Sample {
+	cpu, mem := p.Utilization()
+	return Sample{
+		Time:           now,
+		EmptyHostFrac:  p.EmptyHostFraction(),
+		EmptyToFree:    p.EmptyToFreeRatio(),
+		PackingDensity: p.PackingDensity(),
+		CPUUtil:        cpu,
+		MemUtil:        mem,
+		NumVMs:         p.NumVMs(),
+		NumEmptyHosts:  p.EmptyHosts(),
+	}
+}
+
+// Series is an ordered collection of samples.
+type Series struct {
+	Samples []Sample
+}
+
+// Add appends a sample; times must be non-decreasing.
+func (s *Series) Add(sample Sample) error {
+	if n := len(s.Samples); n > 0 && sample.Time < s.Samples[n-1].Time {
+		return errors.New("metrics: out-of-order sample")
+	}
+	s.Samples = append(s.Samples, sample)
+	return nil
+}
+
+// After returns the sub-series at or after t (used to drop warm-up).
+func (s *Series) After(t time.Duration) *Series {
+	out := &Series{}
+	for _, smp := range s.Samples {
+		if smp.Time >= t {
+			out.Samples = append(out.Samples, smp)
+		}
+	}
+	return out
+}
+
+// Field selects a metric from a sample.
+type Field func(Sample) float64
+
+// Field selectors.
+var (
+	EmptyHostFrac  Field = func(s Sample) float64 { return s.EmptyHostFrac }
+	EmptyToFree    Field = func(s Sample) float64 { return s.EmptyToFree }
+	PackingDensity Field = func(s Sample) float64 { return s.PackingDensity }
+	CPUUtil        Field = func(s Sample) float64 { return s.CPUUtil }
+	MemUtil        Field = func(s Sample) float64 { return s.MemUtil }
+)
+
+// Mean averages a field over the series (samples are evenly spaced in the
+// simulator, so the plain mean is the time-weighted mean).
+func (s *Series) Mean(f Field) float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, smp := range s.Samples {
+		sum += f(smp)
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// TimeWeightedMean integrates a field against the sample spacing, for
+// unevenly spaced series. Each sample's value holds until the next sample.
+func (s *Series) TimeWeightedMean(f Field) float64 {
+	n := len(s.Samples)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return f(s.Samples[0])
+	}
+	var integral, span float64
+	for i := 0; i+1 < n; i++ {
+		dt := (s.Samples[i+1].Time - s.Samples[i].Time).Hours()
+		integral += f(s.Samples[i]) * dt
+		span += dt
+	}
+	if span == 0 {
+		return f(s.Samples[0])
+	}
+	return integral / span
+}
+
+// Values extracts a field as a slice (for stats helpers).
+func (s *Series) Values(f Field) []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = f(smp)
+	}
+	return out
+}
+
+// Times extracts sample times in hours.
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = smp.Time.Hours()
+	}
+	return out
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }

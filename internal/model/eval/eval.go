@@ -1,0 +1,211 @@
+// Package eval scores lifetime models the way the paper does: binary
+// precision/recall/F1 at the 7-day threshold (§3, Table 4), concordance
+// index (Table 4), log10-domain error histograms (Fig. 12, Appendix C), and
+// the F1-versus-uptime-quantile reprediction study (Fig. 9).
+package eval
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"lava/internal/simtime"
+)
+
+// LongThreshold is the short/long classification boundary: 7 days (§3).
+const LongThreshold = 168 * time.Hour
+
+// BinaryMetrics holds classification quality numbers.
+type BinaryMetrics struct {
+	TP, FP, TN, FN int
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (b BinaryMetrics) Precision() float64 {
+	if b.TP+b.FP == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(b.TP+b.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (b BinaryMetrics) Recall() float64 {
+	if b.TP+b.FN == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(b.TP+b.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (b BinaryMetrics) F1() float64 {
+	p, r := b.Precision(), b.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Classify scores predicted-vs-true lifetimes against the long threshold.
+func Classify(predicted, actual []time.Duration, threshold time.Duration) (BinaryMetrics, error) {
+	if len(predicted) != len(actual) || len(predicted) == 0 {
+		return BinaryMetrics{}, errors.New("eval: empty or mismatched inputs")
+	}
+	var b BinaryMetrics
+	for i := range predicted {
+		p := predicted[i] >= threshold
+		a := actual[i] >= threshold
+		switch {
+		case p && a:
+			b.TP++
+		case p && !a:
+			b.FP++
+		case !p && a:
+			b.FN++
+		default:
+			b.TN++
+		}
+	}
+	return b, nil
+}
+
+// PRPoint is one precision/recall operating point.
+type PRPoint struct {
+	Threshold time.Duration
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve sweeps the decision threshold over predicted lifetimes and
+// reports the precision/recall curve for detecting long-lived VMs
+// (actual >= LongThreshold). Points are ordered by decreasing threshold
+// (increasing recall).
+func PRCurve(predicted, actual []time.Duration) ([]PRPoint, error) {
+	if len(predicted) != len(actual) || len(predicted) == 0 {
+		return nil, errors.New("eval: empty or mismatched inputs")
+	}
+	type pair struct {
+		p time.Duration
+		a bool
+	}
+	ps := make([]pair, len(predicted))
+	totalPos := 0
+	for i := range predicted {
+		ps[i] = pair{predicted[i], actual[i] >= LongThreshold}
+		if ps[i].a {
+			totalPos++
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].p > ps[j].p })
+
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].p == ps[i].p {
+			if ps[j].a {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		pt := PRPoint{Threshold: ps[i].p}
+		if tp+fp > 0 {
+			pt.Precision = float64(tp) / float64(tp+fp)
+		}
+		if totalPos > 0 {
+			pt.Recall = float64(tp) / float64(totalPos)
+		}
+		out = append(out, pt)
+		i = j
+	}
+	return out, nil
+}
+
+// PrecisionAtRecall returns the best precision achievable at recall >= r.
+func PrecisionAtRecall(curve []PRPoint, r float64) float64 {
+	best := 0.0
+	for _, pt := range curve {
+		if pt.Recall >= r && pt.Precision > best {
+			best = pt.Precision
+		}
+	}
+	return best
+}
+
+// CIndex computes the concordance index: over all comparable pairs (i,j)
+// with actual_i < actual_j, the fraction where predicted_i < predicted_j
+// (ties count half). It is O(n^2); callers subsample large sets.
+func CIndex(predicted, actual []time.Duration) (float64, error) {
+	if len(predicted) != len(actual) || len(predicted) < 2 {
+		return 0, errors.New("eval: need >= 2 aligned samples")
+	}
+	concordant, comparable := 0.0, 0.0
+	for i := 0; i < len(actual); i++ {
+		for j := i + 1; j < len(actual); j++ {
+			ai, aj := actual[i], actual[j]
+			if ai == aj {
+				continue
+			}
+			pi, pj := predicted[i], predicted[j]
+			comparable++
+			switch {
+			case (ai < aj) == (pi < pj) && pi != pj:
+				concordant++
+			case pi == pj:
+				concordant += 0.5
+			}
+		}
+	}
+	if comparable == 0 {
+		return 0, errors.New("eval: no comparable pairs")
+	}
+	return concordant / comparable, nil
+}
+
+// Log10Error returns |log10(pred) - log10(actual)|, the Appendix C error
+// measure, with both sides clamped away from zero.
+func Log10Error(predicted, actual time.Duration) float64 {
+	return math.Abs(simtime.Log10Hours(predicted) - simtime.Log10Hours(actual))
+}
+
+// ErrorHistogram buckets log10 errors into bins of the given width and
+// returns edges and counts (Fig. 12).
+func ErrorHistogram(errors []float64, binWidth float64) (edges []float64, counts []int) {
+	if binWidth <= 0 || len(errors) == 0 {
+		return nil, nil
+	}
+	max := 0.0
+	for _, e := range errors {
+		if e > max {
+			max = e
+		}
+	}
+	nb := int(max/binWidth) + 1
+	edges = make([]float64, nb)
+	counts = make([]int, nb)
+	for i := range edges {
+		edges[i] = float64(i) * binWidth
+	}
+	for _, e := range errors {
+		b := int(e / binWidth)
+		if b >= nb {
+			b = nb - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}
+
+// MeanAbsLog10Error averages Log10Error over aligned predictions.
+func MeanAbsLog10Error(predicted, actual []time.Duration) (float64, error) {
+	if len(predicted) != len(actual) || len(predicted) == 0 {
+		return 0, errors.New("eval: empty or mismatched inputs")
+	}
+	s := 0.0
+	for i := range predicted {
+		s += Log10Error(predicted[i], actual[i])
+	}
+	return s / float64(len(predicted)), nil
+}

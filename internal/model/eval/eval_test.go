@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lava/internal/simtime"
+)
+
+func hs(hours ...float64) []time.Duration {
+	out := make([]time.Duration, len(hours))
+	for i, h := range hours {
+		out[i] = simtime.FromHours(h)
+	}
+	return out
+}
+
+func TestClassify(t *testing.T) {
+	pred := hs(200, 100, 300, 10)
+	act := hs(300, 200, 50, 20)
+	// threshold 168h: pred long: {0,2}; actual long: {0,1}.
+	// i=0: TP, i=1: FN, i=2: FP, i=3: TN.
+	b, err := Classify(pred, act, LongThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TP != 1 || b.FP != 1 || b.FN != 1 || b.TN != 1 {
+		t.Fatalf("Classify = %+v", b)
+	}
+	if b.Precision() != 0.5 || b.Recall() != 0.5 || b.F1() != 0.5 {
+		t.Fatalf("P/R/F1 = %v/%v/%v", b.Precision(), b.Recall(), b.F1())
+	}
+}
+
+func TestClassifyRejectsBadInput(t *testing.T) {
+	if _, err := Classify(nil, nil, LongThreshold); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if _, err := Classify(hs(1), hs(1, 2), LongThreshold); err == nil {
+		t.Fatal("mismatched must fail")
+	}
+}
+
+func TestBinaryMetricsDegenerate(t *testing.T) {
+	var b BinaryMetrics
+	if b.Precision() != 0 || b.Recall() != 0 || b.F1() != 0 {
+		t.Fatal("empty metrics must be zero, not NaN")
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	// Perfect ranking: all long-lived VMs predicted above all short ones.
+	pred := hs(500, 400, 300, 10, 5)
+	act := hs(200, 300, 400, 50, 20)
+	curve, err := PRCurve(pred, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision must be 1 at every point until recall hits 1.
+	for _, pt := range curve {
+		if pt.Recall < 1 && pt.Precision != 1 {
+			t.Fatalf("perfect ranking gave precision %v at recall %v", pt.Precision, pt.Recall)
+		}
+	}
+	if got := PrecisionAtRecall(curve, 1.0); got != 1.0 {
+		t.Fatalf("PrecisionAtRecall(1.0) = %v, want 1.0 (perfect ranking)", got)
+	}
+}
+
+func TestPRCurveImperfectRanking(t *testing.T) {
+	// One short VM (50h actual) outranks a long one (200h actual): full
+	// recall requires accepting it, capping precision below 1.
+	pred := hs(500, 400, 300, 10)
+	act := hs(200, 50, 400, 300)
+	curve, err := PRCurve(pred, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PrecisionAtRecall(curve, 1.0); got != 0.75 {
+		t.Fatalf("PrecisionAtRecall(1.0) = %v, want 0.75", got)
+	}
+	if got := PrecisionAtRecall(curve, 1.0/3.0); got != 1.0 {
+		t.Fatalf("PrecisionAtRecall(1/3) = %v, want 1.0", got)
+	}
+}
+
+func TestCIndexPerfectAndInverted(t *testing.T) {
+	act := hs(1, 2, 3, 4)
+	if c, err := CIndex(act, act); err != nil || c != 1 {
+		t.Fatalf("perfect C-index = %v (err %v), want 1", c, err)
+	}
+	inv := hs(4, 3, 2, 1)
+	if c, err := CIndex(inv, act); err != nil || c != 0 {
+		t.Fatalf("inverted C-index = %v (err %v), want 0", c, err)
+	}
+	// Constant prediction: ties count half -> 0.5.
+	cst := hs(5, 5, 5, 5)
+	if c, err := CIndex(cst, act); err != nil || c != 0.5 {
+		t.Fatalf("constant C-index = %v (err %v), want 0.5", c, err)
+	}
+}
+
+func TestCIndexRejectsBadInput(t *testing.T) {
+	if _, err := CIndex(hs(1), hs(1)); err == nil {
+		t.Fatal("single sample must fail")
+	}
+	if _, err := CIndex(hs(1, 1), hs(2, 2)); err == nil {
+		t.Fatal("no comparable pairs must fail")
+	}
+}
+
+func TestLog10Error(t *testing.T) {
+	if got := Log10Error(simtime.FromHours(10), simtime.FromHours(1)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Log10Error(10h,1h) = %v, want 1", got)
+	}
+	if got := Log10Error(simtime.FromHours(5), simtime.FromHours(5)); got != 0 {
+		t.Fatalf("Log10Error equal = %v, want 0", got)
+	}
+}
+
+func TestErrorHistogram(t *testing.T) {
+	errs := []float64{0.1, 0.2, 1.1, 2.5}
+	edges, counts := ErrorHistogram(errs, 1.0)
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if e, c := ErrorHistogram(nil, 1); e != nil || c != nil {
+		t.Fatal("empty histogram must be nil")
+	}
+}
+
+func TestMeanAbsLog10Error(t *testing.T) {
+	got, err := MeanAbsLog10Error(hs(10, 100), hs(1, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("MeanAbsLog10Error = %v, want 1", got)
+	}
+	if _, err := MeanAbsLog10Error(nil, nil); err == nil {
+		t.Fatal("empty must fail")
+	}
+}

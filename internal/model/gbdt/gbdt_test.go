@@ -1,0 +1,216 @@
+package gbdt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds a regression problem with known structure: y depends on
+// feature 0 (step), feature 1 (linear), and noise; feature 2 is irrelevant.
+func synth(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b, c}
+		y[i] = 3*b + 0.05*rng.NormFloat64()
+		if a > 0.5 {
+			y[i] += 2
+		}
+	}
+	return X, y
+}
+
+func mse(m *Model, X [][]float64, y []float64) float64 {
+	s := 0.0
+	for i := range X {
+		d := m.Predict(X[i]) - y[i]
+		s += d * d
+	}
+	return s / float64(len(X))
+}
+
+func TestTrainReducesError(t *testing.T) {
+	X, y := synth(2000, 1)
+	m, err := Train(X, y, Params{Trees: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := synth(500, 2)
+	got := mse(m, Xt, yt)
+	// Variance of y is ~ 3^2/12 + 1 ≈ 1.75; a fitted model should be far
+	// below it.
+	if got > 0.2 {
+		t.Fatalf("test MSE = %v, want < 0.2", got)
+	}
+}
+
+func TestBiasOnlyModel(t *testing.T) {
+	// Constant target: every prediction equals the bias regardless of x.
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 5, 5, 5}
+	m, err := Train(X, y, Params{Trees: 3, MinLeafSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{99}); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("constant-target prediction = %v, want 5", got)
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, Params{}); err == nil {
+		t.Fatal("empty training set must fail")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, Params{}); err == nil {
+		t.Fatal("mismatched lengths must fail")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, 2}, Params{}); err == nil {
+		t.Fatal("ragged rows must fail")
+	}
+}
+
+func TestImportanceIdentifiesRelevantFeatures(t *testing.T) {
+	X, y := synth(3000, 3)
+	m, err := Train(X, y, Params{Trees: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.Importance()
+	if len(imp) != 3 {
+		t.Fatalf("importance length = %d", len(imp))
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v, want 1", sum)
+	}
+	// Features 0 and 1 drive the target; feature 2 is noise.
+	if imp[2] > 0.05 {
+		t.Errorf("irrelevant feature importance = %v, want ~0", imp[2])
+	}
+	if imp[0] < 0.1 || imp[1] < 0.1 {
+		t.Errorf("relevant features under-weighted: %v", imp)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	X, y := synth(500, 4)
+	m1, err := Train(X, y, Params{Trees: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(X, y, Params{Trees: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.7, 0.1}
+	if m1.Predict(probe) != m2.Predict(probe) {
+		t.Fatal("training is not deterministic")
+	}
+}
+
+func TestMaxLeavesRespected(t *testing.T) {
+	X, y := synth(2000, 5)
+	m, err := Train(X, y, Params{Trees: 5, MaxLeaves: 8, MinLeafSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tr := range m.Trees {
+		leaves := 0
+		for _, n := range tr.Nodes {
+			if n.Feature == -1 {
+				leaves++
+			}
+		}
+		if leaves > 8 {
+			t.Fatalf("tree %d has %d leaves, want <= 8", ti, leaves)
+		}
+		// A binary tree with L leaves has 2L-1 nodes.
+		if len(tr.Nodes) != 2*leaves-1 {
+			t.Fatalf("tree %d has %d nodes for %d leaves", ti, len(tr.Nodes), leaves)
+		}
+	}
+}
+
+func TestMinLeafSamplesRespected(t *testing.T) {
+	X, y := synth(200, 6)
+	m, err := Train(X, y, Params{Trees: 3, MinLeafSamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 200 samples and min 50 per leaf, a tree can have at most 4
+	// leaves.
+	for _, tr := range m.Trees {
+		leaves := 0
+		for _, n := range tr.Nodes {
+			if n.Feature == -1 {
+				leaves++
+			}
+		}
+		if leaves > 4 {
+			t.Fatalf("tree has %d leaves despite MinLeafSamples=50", leaves)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := synth(500, 7)
+	m, err := Train(X, y, Params{Trees: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		probe := []float64{float64(i) / 20, float64(i%5) / 5, 0.5}
+		if got.Predict(probe) != m.Predict(probe) {
+			t.Fatalf("prediction mismatch after round trip at probe %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"num_features":0}`)); err == nil {
+		t.Fatal("malformed model must fail to load")
+	}
+}
+
+func TestBinValue(t *testing.T) {
+	edges := []float64{1, 2, 3}
+	cases := []struct {
+		x    float64
+		want uint8
+	}{
+		{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.9, 2}, {3, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := binValue(edges, c.x); got != c.want {
+			t.Errorf("binValue(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	X, y := synth(5000, 8)
+	m, err := Train(X, y, Params{Trees: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{0.4, 0.6, 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(probe)
+	}
+}

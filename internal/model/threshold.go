@@ -1,0 +1,32 @@
+package model
+
+import (
+	"time"
+
+	"lava/internal/cluster"
+)
+
+// UptimeThreshold implements the optimization suggested in §6.5: uptimes
+// very close to zero are hard for the model to disambiguate in the log
+// domain (the F1 dip at quantiles 1-5 in Fig. 9), so uptime is only passed
+// to the model once it reaches a threshold (e.g. 30 seconds); below it, the
+// schedule-time prediction is used.
+type UptimeThreshold struct {
+	P         Predictor
+	Threshold time.Duration // zero means 30 seconds
+}
+
+// Name implements Predictor.
+func (u UptimeThreshold) Name() string { return u.P.Name() + "-uthresh" }
+
+// PredictRemaining implements Predictor.
+func (u UptimeThreshold) PredictRemaining(vm *cluster.VM, uptime time.Duration) time.Duration {
+	th := u.Threshold
+	if th == 0 {
+		th = 30 * time.Second
+	}
+	if uptime < th {
+		uptime = 0
+	}
+	return u.P.PredictRemaining(vm, uptime)
+}

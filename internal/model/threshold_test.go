@@ -1,0 +1,45 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"lava/internal/cluster"
+)
+
+// recordingPredictor records the uptime it was asked about.
+type recordingPredictor struct{ lastUptime time.Duration }
+
+func (r *recordingPredictor) Name() string { return "recording" }
+func (r *recordingPredictor) PredictRemaining(_ *cluster.VM, uptime time.Duration) time.Duration {
+	r.lastUptime = uptime
+	return time.Hour
+}
+
+func TestUptimeThresholdSuppressesTinyUptimes(t *testing.T) {
+	rec := &recordingPredictor{}
+	u := UptimeThreshold{P: rec}
+	vm := &cluster.VM{ID: 1}
+
+	u.PredictRemaining(vm, 10*time.Second)
+	if rec.lastUptime != 0 {
+		t.Fatalf("uptime below threshold passed through: %v", rec.lastUptime)
+	}
+	u.PredictRemaining(vm, time.Minute)
+	if rec.lastUptime != time.Minute {
+		t.Fatalf("uptime above threshold suppressed: %v", rec.lastUptime)
+	}
+}
+
+func TestUptimeThresholdCustom(t *testing.T) {
+	rec := &recordingPredictor{}
+	u := UptimeThreshold{P: rec, Threshold: time.Hour}
+	vm := &cluster.VM{ID: 1}
+	u.PredictRemaining(vm, 59*time.Minute)
+	if rec.lastUptime != 0 {
+		t.Fatalf("custom threshold ignored: %v", rec.lastUptime)
+	}
+	if u.Name() != "recording-uthresh" {
+		t.Fatalf("name = %q", u.Name())
+	}
+}

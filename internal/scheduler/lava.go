@@ -1,0 +1,123 @@
+package scheduler
+
+import (
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/model"
+	"lava/internal/simtime"
+)
+
+// LAVA is Lifetime-Aware VM Allocation (§4.3). Where LA and NILAS place
+// VMs with similar lifetimes together, LAVA does the opposite: it fills
+// gaps on hosts with VMs at least one lifetime class (10x) *shorter* than
+// the host, so that mispredicted fillers are unlikely to extend the host's
+// lifetime. Hosts move through empty -> open -> recycling states; all-
+// residuals-exited demotes a host one class (Fig. 5b), deadline expiry
+// promotes it one class (Fig. 5c) — the adaptation to mispredictions.
+//
+// Host preference for a VM of class LC(v), per Algorithm 3:
+//  1. recycling hosts with class > LC(v), closer classes first,
+//  2. open hosts with class == LC(v),
+//  3. any non-empty host,
+//  4. empty hosts,
+//
+// with ties at each level broken by the NILAS scorers.
+type LAVA struct {
+	chain Chain
+	cache *ExitCache
+}
+
+// NewLAVA builds the LAVA policy over the given predictor. refresh is the
+// host-score cache interval (Appendix G.3).
+func NewLAVA(pred model.Predictor, refresh time.Duration) *LAVA {
+	l := &LAVA{cache: NewExitCache(pred, refresh)}
+	n := &NILAS{cache: l.cache} // share one cache between the two levels
+	l.chain = Chain{ChainName: "lava", Scorers: append([]Scorer{
+		ScorerFunc{FuncName: "lava-class", F: l.classScore},
+		ScorerFunc{FuncName: "temporal-cost", F: n.temporalCost},
+	}, nilasPackingScorers()...)}
+	return l
+}
+
+// vmClass computes the VM's lifetime class from a (re)prediction at its
+// current uptime — new VMs at uptime zero, migrating VMs at their age.
+func (l *LAVA) vmClass(vm *cluster.VM, now time.Duration) simtime.LifetimeClass {
+	return simtime.ClassOf(l.cache.Remaining(vm, now))
+}
+
+// classScore is the LAVA coarse-grained preference level.
+func (l *LAVA) classScore(h *cluster.Host, vm *cluster.VM, now time.Duration) float64 {
+	vc := l.vmClass(vm, now)
+	switch {
+	case h.State == cluster.StateRecycling && h.Class > vc:
+		// Closer classes first: LC(v)+1 scores 1, +2 scores 2, +3 scores 3.
+		return float64(h.Class - vc)
+	case h.State == cluster.StateOpen && h.Class == vc:
+		return 4
+	case !h.Empty():
+		return 5
+	default:
+		return 6
+	}
+}
+
+// Name implements Policy.
+func (l *LAVA) Name() string { return "lava" }
+
+// Schedule implements Policy.
+func (l *LAVA) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
+	return l.chain.Schedule(pool, vm, now)
+}
+
+// OnPlaced implements Policy: drive the host state machine.
+func (l *LAVA) OnPlaced(_ *cluster.Pool, h *cluster.Host, vm *cluster.VM, now time.Duration) {
+	if vm.InitialPrediction == 0 {
+		vm.InitialPrediction = l.cache.Pred.PredictRemaining(vm, 0)
+	}
+	l.cache.Invalidate(h.ID)
+	if h.State == cluster.StateEmpty {
+		// First VM opens the host with the VM's class (§4.3).
+		h.OpenAs(l.vmClass(vm, now), now)
+	}
+	if h.State == cluster.StateOpen && h.MaxUtilization() >= cluster.RecyclingThreshold {
+		// Over 90% full: transition to recycling; current VMs become
+		// residual (§4.3).
+		h.StartRecycling()
+	}
+}
+
+// OnExited implements Policy: demote on residual drain, reset on empty.
+func (l *LAVA) OnExited(_ *cluster.Pool, h *cluster.Host, _ *cluster.VM, now time.Duration) {
+	l.cache.Invalidate(h.ID)
+	if h.Empty() {
+		h.ResetLAVA()
+		return
+	}
+	if h.State == cluster.StateRecycling && h.ResidualCount() == 0 {
+		// All residual VMs exited: the remaining VMs are of the next-lower
+		// class; re-classify the host down (Fig. 5b).
+		h.DemoteClass(now)
+	}
+}
+
+// OnTick implements Policy: deadline expiry detection (Fig. 5c). A host
+// that outlives its class deadline was under-predicted; promote it one
+// class and restart the clock.
+func (l *LAVA) OnTick(pool *cluster.Pool, now time.Duration) {
+	for _, h := range pool.Hosts() {
+		if h.State == cluster.StateEmpty || h.Empty() {
+			continue
+		}
+		if now > h.Deadline {
+			h.PromoteClass(now)
+			l.cache.Invalidate(h.ID)
+		}
+	}
+}
+
+// ModelCalls reports predictor invocations.
+func (l *LAVA) ModelCalls() int64 { return l.cache.Predictions }
+
+// Cache exposes the exit cache for ablation studies.
+func (l *LAVA) Cache() *ExitCache { return l.cache }

@@ -1,0 +1,134 @@
+// Package scheduler implements a Borg-like VM scheduling framework (§2.2)
+// and the paper's scheduling policies.
+//
+// The framework mirrors Borg's structure: for each VM request it computes
+// the set of feasible hosts, then applies a *lexicographic* chain of scoring
+// functions — one dimension at a time, with ties resolved by the next-lower
+// dimension (§2.2). NILAS inserts its quantized temporal cost one level
+// above the bin packing score (§4.2); LAVA adds a coarse lifetime-class
+// preference one level above NILAS (§4.3); LA-Binary reproduces Barbalho et
+// al.'s one-shot lifetime alignment (§2.4, §5.3).
+package scheduler
+
+import (
+	"errors"
+	"time"
+
+	"lava/internal/cluster"
+)
+
+// ErrNoCapacity is returned when no feasible host can take the VM.
+var ErrNoCapacity = errors.New("scheduler: no feasible host")
+
+// Scorer is one dimension of the lexicographic scoring chain. Lower scores
+// are preferred. Scores must be deterministic functions of the host, VM and
+// time.
+type Scorer interface {
+	Name() string
+	Score(h *cluster.Host, vm *cluster.VM, now time.Duration) float64
+}
+
+// Policy is a complete scheduling algorithm: host selection plus the event
+// hooks some policies (LAVA, cached NILAS) need to maintain state.
+type Policy interface {
+	Name() string
+
+	// Schedule picks a host for the VM or returns ErrNoCapacity. It must
+	// not mutate the pool; the caller performs the placement and then
+	// invokes OnPlaced.
+	Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error)
+
+	// OnPlaced is called after vm was placed on h.
+	OnPlaced(pool *cluster.Pool, h *cluster.Host, vm *cluster.VM, now time.Duration)
+
+	// OnExited is called after vm exited from h.
+	OnExited(pool *cluster.Pool, h *cluster.Host, vm *cluster.VM, now time.Duration)
+
+	// OnTick is called periodically (e.g. each simulated minute) so
+	// policies can run deadline checks.
+	OnTick(pool *cluster.Pool, now time.Duration)
+}
+
+// scoreEpsilon defines score equality for tie-breaking purposes: hosts
+// within this distance of the best score survive to the next chain level.
+const scoreEpsilon = 1e-9
+
+// Chain is a lexicographic scoring policy: feasible hosts are filtered
+// level by level, and the final tie-break is the lowest host ID, keeping
+// runs deterministic.
+type Chain struct {
+	ChainName string
+	Scorers   []Scorer
+}
+
+// Name implements Policy.
+func (c *Chain) Name() string { return c.ChainName }
+
+// Schedule implements Policy.
+func (c *Chain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
+	candidates := feasible(pool, vm)
+	if len(candidates) == 0 {
+		return nil, ErrNoCapacity
+	}
+	scratch := make([]*cluster.Host, 0, len(candidates))
+	for _, s := range c.Scorers {
+		if len(candidates) == 1 {
+			break
+		}
+		best := 0.0
+		scratch = scratch[:0]
+		for i, h := range candidates {
+			sc := s.Score(h, vm, now)
+			switch {
+			case i == 0 || sc < best-scoreEpsilon:
+				best = sc
+				scratch = append(scratch[:0], h)
+			case sc <= best+scoreEpsilon:
+				scratch = append(scratch, h)
+			}
+		}
+		candidates = append(candidates[:0], scratch...)
+	}
+	// Deterministic tie-break: lowest host ID. feasible() returns hosts in
+	// ID order and the filtering preserves it, so the first candidate wins.
+	return candidates[0], nil
+}
+
+// OnPlaced implements Policy (no-op for plain chains).
+func (c *Chain) OnPlaced(*cluster.Pool, *cluster.Host, *cluster.VM, time.Duration) {}
+
+// OnExited implements Policy (no-op for plain chains).
+func (c *Chain) OnExited(*cluster.Pool, *cluster.Host, *cluster.VM, time.Duration) {}
+
+// OnTick implements Policy (no-op for plain chains).
+func (c *Chain) OnTick(*cluster.Pool, time.Duration) {}
+
+// feasible returns available hosts with room for the VM, in ID order
+// ("hosts with sufficient resources that match any hard constraints",
+// §2.2).
+func feasible(pool *cluster.Pool, vm *cluster.VM) []*cluster.Host {
+	var out []*cluster.Host
+	for _, h := range pool.Hosts() {
+		if h.Unavailable {
+			continue
+		}
+		if h.Fits(vm.Shape) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ScorerFunc adapts a function to the Scorer interface.
+type ScorerFunc struct {
+	FuncName string
+	F        func(h *cluster.Host, vm *cluster.VM, now time.Duration) float64
+}
+
+// Name implements Scorer.
+func (s ScorerFunc) Name() string { return s.FuncName }
+
+// Score implements Scorer.
+func (s ScorerFunc) Score(h *cluster.Host, vm *cluster.VM, now time.Duration) float64 {
+	return s.F(h, vm, now)
+}

@@ -1,0 +1,53 @@
+package scheduler
+
+import (
+	"time"
+
+	"lava/internal/cluster"
+)
+
+// Switched swaps from one policy to another at a fixed simulation time,
+// modelling a production rollout (§5.2): the pool's history before the
+// switch was produced by the old policy, and the new policy inherits that
+// residual state. Both policies observe all events so the post policy has
+// warm internal state at switch time.
+type Switched struct {
+	Pre, Post Policy
+	At        time.Duration
+}
+
+// NewSwitched builds a rollout policy that activates post at the switch
+// time.
+func NewSwitched(pre, post Policy, at time.Duration) *Switched {
+	return &Switched{Pre: pre, Post: post, At: at}
+}
+
+func (s *Switched) active(now time.Duration) Policy {
+	if now >= s.At {
+		return s.Post
+	}
+	return s.Pre
+}
+
+// Name implements Policy.
+func (s *Switched) Name() string { return s.Pre.Name() + "->" + s.Post.Name() }
+
+// Schedule implements Policy.
+func (s *Switched) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
+	return s.active(now).Schedule(pool, vm, now)
+}
+
+// OnPlaced implements Policy.
+func (s *Switched) OnPlaced(pool *cluster.Pool, h *cluster.Host, vm *cluster.VM, now time.Duration) {
+	s.active(now).OnPlaced(pool, h, vm, now)
+}
+
+// OnExited implements Policy.
+func (s *Switched) OnExited(pool *cluster.Pool, h *cluster.Host, vm *cluster.VM, now time.Duration) {
+	s.active(now).OnExited(pool, h, vm, now)
+}
+
+// OnTick implements Policy.
+func (s *Switched) OnTick(pool *cluster.Pool, now time.Duration) {
+	s.active(now).OnTick(pool, now)
+}

@@ -1,0 +1,191 @@
+// Package sim is the event-driven simulator of §5.1: it replays a trace of
+// VM start and exit events against a simulated pool driven by a real
+// scheduling policy, samples bin-packing metrics over time, and supports
+// pluggable components (defragmentation engines, stranding probes) that run
+// on the periodic tick.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/metrics"
+	"lava/internal/scheduler"
+	"lava/internal/trace"
+)
+
+// Component is a pluggable subsystem driven by the simulator clock
+// (defragmenter, stranding probe, telemetry).
+type Component interface {
+	Tick(pool *cluster.Pool, now time.Duration)
+}
+
+// Config configures one simulation run.
+type Config struct {
+	Trace  *trace.Trace
+	Policy scheduler.Policy
+
+	// WarmUp excludes the initial interval from reported metrics
+	// (Appendix F: simulations warm up to reach a steady state that is
+	// representative of production before lifetime-aware scheduling is
+	// enabled). Samples before WarmUp are kept in the full series but
+	// excluded from aggregates.
+	WarmUp time.Duration
+
+	// SampleEvery is the metric sampling period (default 1h).
+	SampleEvery time.Duration
+
+	// TickEvery is the policy/component tick period (default 5m): LAVA
+	// deadline checks and defrag triggers run on this cadence.
+	TickEvery time.Duration
+
+	// Components run on every tick.
+	Components []Component
+
+	// CheckInvariants validates pool consistency at every sample (slow;
+	// for tests).
+	CheckInvariants bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	PoolName string
+	Policy   string
+
+	Series *metrics.Series // full series including warm-up
+	WarmUp time.Duration
+
+	// Aggregates over the post-warm-up window.
+	AvgEmptyHostFrac  float64
+	AvgEmptyToFree    float64
+	AvgPackingDensity float64
+	AvgCPUUtil        float64
+
+	Placements int
+	Exits      int
+	Failed     int // VM requests that found no feasible host
+	ModelCalls int64
+
+	FinalPool *cluster.Pool
+}
+
+// modelCaller is implemented by policies that expose model telemetry.
+type modelCaller interface{ ModelCalls() int64 }
+
+// Run replays the trace against the policy.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Trace == nil || cfg.Policy == nil {
+		return nil, errors.New("sim: trace and policy are required")
+	}
+	if cfg.Trace.Hosts <= 0 {
+		return nil, errors.New("sim: trace has no hosts")
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = time.Hour
+	}
+	if cfg.TickEvery == 0 {
+		cfg.TickEvery = 5 * time.Minute
+	}
+	if cfg.WarmUp == 0 {
+		// Default to the trace's own warm-up prefix (Appendix F).
+		cfg.WarmUp = cfg.Trace.WarmUp
+	}
+
+	pool := cluster.NewPool(cfg.Trace.PoolName, cfg.Trace.Hosts, cfg.Trace.HostShape())
+	res := &Result{
+		PoolName: cfg.Trace.PoolName,
+		Policy:   cfg.Policy.Name(),
+		Series:   &metrics.Series{},
+		WarmUp:   cfg.WarmUp,
+	}
+
+	evs := cfg.Trace.Events()
+	// Measure until the arrival horizon: past it the pool only drains,
+	// which says nothing about steady-state packing quality.
+	end := cfg.Trace.End()
+
+	nextSample := time.Duration(0)
+	nextTick := cfg.TickEvery
+
+	advance := func(to time.Duration) error {
+		for nextSample <= to || nextTick <= to {
+			if nextSample <= nextTick {
+				if err := res.Series.Add(metrics.Snapshot(pool, nextSample)); err != nil {
+					return err
+				}
+				if cfg.CheckInvariants {
+					if err := pool.CheckInvariants(); err != nil {
+						return fmt.Errorf("sim: at %v: %w", nextSample, err)
+					}
+				}
+				nextSample += cfg.SampleEvery
+			} else {
+				cfg.Policy.OnTick(pool, nextTick)
+				for _, c := range cfg.Components {
+					c.Tick(pool, nextTick)
+				}
+				nextTick += cfg.TickEvery
+			}
+		}
+		return nil
+	}
+
+	for _, ev := range evs {
+		if ev.Time > end {
+			break // drain-only tail: stop measuring
+		}
+		if err := advance(ev.Time); err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case trace.EventCreate:
+			vm := &cluster.VM{
+				ID:           ev.Rec.ID,
+				Shape:        ev.Rec.Shape,
+				Feat:         ev.Rec.Feat,
+				Created:      ev.Time,
+				TrueLifetime: ev.Rec.Lifetime,
+			}
+			h, err := cfg.Policy.Schedule(pool, vm, ev.Time)
+			if err != nil {
+				if errors.Is(err, scheduler.ErrNoCapacity) {
+					res.Failed++
+					continue
+				}
+				return nil, err
+			}
+			if err := pool.Place(vm, h); err != nil {
+				return nil, fmt.Errorf("sim: place vm %d: %w", vm.ID, err)
+			}
+			cfg.Policy.OnPlaced(pool, h, vm, ev.Time)
+			res.Placements++
+
+		case trace.EventExit:
+			if pool.HostOf(ev.Rec.ID) == nil {
+				continue // was never scheduled (capacity failure)
+			}
+			h, vm, err := pool.Exit(ev.Rec.ID)
+			if err != nil {
+				return nil, fmt.Errorf("sim: exit vm %d: %w", ev.Rec.ID, err)
+			}
+			cfg.Policy.OnExited(pool, h, vm, ev.Time)
+			res.Exits++
+		}
+	}
+	if err := advance(end); err != nil {
+		return nil, err
+	}
+
+	steady := res.Series.After(cfg.WarmUp)
+	res.AvgEmptyHostFrac = steady.Mean(metrics.EmptyHostFrac)
+	res.AvgEmptyToFree = steady.Mean(metrics.EmptyToFree)
+	res.AvgPackingDensity = steady.Mean(metrics.PackingDensity)
+	res.AvgCPUUtil = steady.Mean(metrics.CPUUtil)
+	if mc, ok := cfg.Policy.(modelCaller); ok {
+		res.ModelCalls = mc.ModelCalls()
+	}
+	res.FinalPool = pool
+	return res, nil
+}

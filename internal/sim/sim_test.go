@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/metrics"
+	"lava/internal/model"
+	"lava/internal/scheduler"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+func smallTrace(t *testing.T, days int, util float64, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: "sim-test", Zone: "z1", Hosts: 24, TargetUtil: util,
+		Duration: time.Duration(days) * simtime.Day, Prefill: 12 * simtime.Day,
+		Seed: seed, Diurnal: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil trace/policy must fail")
+	}
+	if _, err := Run(Config{Trace: &trace.Trace{}, Policy: scheduler.NewWasteMin()}); err == nil {
+		t.Fatal("zero hosts must fail")
+	}
+}
+
+func TestRunBaselineConserves(t *testing.T) {
+	tr := smallTrace(t, 5, 0.6, 1)
+	res, err := Run(Config{
+		Trace:           tr,
+		Policy:          scheduler.NewWasteMin(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placements+res.Failed != len(tr.Records) {
+		t.Fatalf("placements %d + failed %d != records %d", res.Placements, res.Failed, len(tr.Records))
+	}
+	if res.Exits != res.Placements {
+		// All placed VMs exit within the trace horizon only if their exit
+		// lands before the last event; long tails may survive. Exits can be
+		// lower but never higher.
+		if res.Exits > res.Placements {
+			t.Fatalf("exits %d > placements %d", res.Exits, res.Placements)
+		}
+	}
+	if res.Failed > len(tr.Records)/20 {
+		t.Fatalf("too many capacity failures: %d / %d", res.Failed, len(tr.Records))
+	}
+	if res.Series.Len() == 0 {
+		t.Fatal("no samples collected")
+	}
+	if res.AvgEmptyHostFrac < 0 || res.AvgEmptyHostFrac > 1 {
+		t.Fatalf("empty-host frac = %v", res.AvgEmptyHostFrac)
+	}
+	// Steady-state utilization should land near the generator target.
+	if res.AvgCPUUtil < 0.35 || res.AvgCPUUtil > 0.85 {
+		t.Fatalf("cpu util = %v, want near 0.6", res.AvgCPUUtil)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr := smallTrace(t, 3, 0.6, 2)
+	run := func() *Result {
+		res, err := Run(Config{Trace: tr, Policy: scheduler.NewWasteMin()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.AvgEmptyHostFrac != b.AvgEmptyHostFrac || a.Placements != b.Placements || a.Failed != b.Failed {
+		t.Fatal("identical configs produced different results")
+	}
+}
+
+func TestSamplesEvenlySpaced(t *testing.T) {
+	tr := smallTrace(t, 2, 0.5, 3)
+	res, err := Run(Config{Trace: tr, Policy: scheduler.NewBestFit(), SampleEvery: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < res.Series.Len(); i++ {
+		gap := res.Series.Samples[i].Time - res.Series.Samples[i-1].Time
+		if gap != 2*time.Hour {
+			t.Fatalf("sample gap = %v, want 2h", gap)
+		}
+	}
+}
+
+// TestLifetimeAwareBeatsBaseline is the headline integration test: with an
+// oracle predictor, NILAS and LAVA must produce more empty hosts than the
+// lifetime-unaware baseline on the same trace (Fig. 6).
+func TestLifetimeAwareBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration study")
+	}
+	tr := smallTrace(t, 10, 0.65, 4)
+
+	runWith := func(p scheduler.Policy) float64 {
+		res, err := Run(Config{Trace: tr, Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgEmptyHostFrac
+	}
+
+	base := runWith(scheduler.NewWasteMin())
+	nilas := runWith(scheduler.NewNILAS(model.Oracle{}, 0))
+	lava := runWith(scheduler.NewLAVA(model.Oracle{}, 0))
+
+	t.Logf("empty-host frac: baseline=%.4f nilas=%.4f lava=%.4f", base, nilas, lava)
+	if nilas <= base {
+		t.Errorf("NILAS (%.4f) must beat baseline (%.4f)", nilas, base)
+	}
+	if lava <= base {
+		t.Errorf("LAVA (%.4f) must beat baseline (%.4f)", lava, base)
+	}
+}
+
+// tickCounter verifies components receive ticks.
+type tickCounter struct {
+	n    int
+	last time.Duration
+}
+
+func (c *tickCounter) Tick(_ *cluster.Pool, now time.Duration) {
+	c.n++
+	c.last = now
+}
+
+func TestComponentsTicked(t *testing.T) {
+	tr := smallTrace(t, 1, 0.5, 5)
+	c := &tickCounter{}
+	_, err := Run(Config{
+		Trace: tr, Policy: scheduler.NewWasteMin(),
+		TickEvery: time.Hour, Components: []Component{c},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.n < 20 {
+		t.Fatalf("component ticked %d times over ~1 day, want >= 20", c.n)
+	}
+}
+
+func TestWarmUpExcludedFromAggregates(t *testing.T) {
+	tr := smallTrace(t, 3, 0.6, 6)
+	// Force a tiny warm-up vs the trace's full prefill.
+	resAll, err := Run(Config{Trace: tr, Policy: scheduler.NewWasteMin(), WarmUp: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWarm, err := Run(Config{Trace: tr, Policy: scheduler.NewWasteMin()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resWarm.WarmUp != tr.WarmUp {
+		t.Fatalf("default warm-up = %v, want trace prefill %v", resWarm.WarmUp, tr.WarmUp)
+	}
+	// The pool starts fully empty, so including the ramp-up inflates the
+	// empty-host average.
+	if resAll.AvgEmptyHostFrac <= resWarm.AvgEmptyHostFrac {
+		t.Fatalf("warm-up exclusion had no effect: %v vs %v", resAll.AvgEmptyHostFrac, resWarm.AvgEmptyHostFrac)
+	}
+	// Full series retained either way.
+	if resWarm.Series.Len() != resAll.Series.Len() {
+		t.Fatal("warm-up must not drop samples from the full series")
+	}
+	if got := resWarm.Series.After(tr.WarmUp).Len(); got >= resWarm.Series.Len() {
+		t.Fatal("After() must trim samples")
+	}
+	_ = metrics.EmptyHostFrac
+}

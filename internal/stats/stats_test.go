@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Mean(xs) != 3 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 2.5 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs must be zero")
+	}
+	if math.Abs(StdDev(xs)-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile must be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestWelchTTestDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.0
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.001 {
+		t.Fatalf("p = %v for clearly different means", res.P)
+	}
+	if res.T >= 0 {
+		t.Fatalf("t = %v, want negative (a < b)", res.T)
+	}
+}
+
+func TestWelchTTestNullDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("p = %v for identical distributions; false positive", res.P)
+	}
+}
+
+func TestWelchTTestEdgeCases(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("tiny samples must fail")
+	}
+	// Zero variance, equal means.
+	res, err := WelchTTest([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if err != nil || res.P != 1 {
+		t.Fatalf("equal constants: p = %v err = %v", res.P, err)
+	}
+	// Zero variance, different means.
+	res, err = WelchTTest([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil || res.P != 0 {
+		t.Fatalf("different constants: p = %v err = %v", res.P, err)
+	}
+}
+
+func TestStudentTTailKnownValues(t *testing.T) {
+	// For df -> large, t=1.96 should give ~0.025.
+	got := studentTTail(1.96, 1000)
+	if math.Abs(got-0.025) > 0.002 {
+		t.Fatalf("tail(1.96, 1000) = %v, want ~0.025", got)
+	}
+	// t=0 -> 0.5.
+	if got := studentTTail(0, 10); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("tail(0) = %v, want 0.5", got)
+	}
+	// Known value: df=1 (Cauchy), t=1 -> 0.25.
+	if got := studentTTail(1, 1); math.Abs(got-0.25) > 1e-6 {
+		t.Fatalf("tail(1, 1) = %v, want 0.25", got)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		l := regIncBeta(2.5, 1.5, x)
+		r := 1 - regIncBeta(1.5, 2.5, 1-x)
+		if math.Abs(l-r) > 1e-10 {
+			t.Fatalf("symmetry violated at %v: %v vs %v", x, l, r)
+		}
+	}
+}
+
+func TestPermutationTest(t *testing.T) {
+	a := []float64{10, 11, 12, 10.5, 11.5, 10.2, 11.8, 10.9}
+	b := []float64{1, 2, 1.5, 2.5, 1.2, 2.2, 1.8, 1.1}
+	p, err := PermutationTest(a, b, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.05 {
+		t.Fatalf("p = %v for obviously different groups", p)
+	}
+	same := []float64{1, 2, 3, 4, 5, 6}
+	p, err = PermutationTest(same, same, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.5 {
+		t.Fatalf("p = %v for identical groups, want ~1", p)
+	}
+	if _, err := PermutationTest(nil, a, 10, 1); err == nil {
+		t.Fatal("empty group must fail")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 500, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] excludes true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI [%v, %v] too wide for n=500", lo, hi)
+	}
+	if _, _, err := BootstrapCI(nil, Mean, 10, 0.95, 1); err == nil {
+		t.Fatal("empty sample must fail")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 10, 1.5, 1); err == nil {
+		t.Fatal("bad confidence must fail")
+	}
+}
+
+func TestStationaryBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// AR(1)-ish series around 5.
+	xs := make([]float64, 400)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.8*prev + rng.NormFloat64()
+		xs[i] = 5 + prev
+	}
+	lo, hi, err := StationaryBootstrapCI(xs, Mean, 20, 400, 0.95, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 5.5 || hi < 4.5 {
+		t.Fatalf("CI [%v, %v] implausible for mean ~5", lo, hi)
+	}
+	if lo >= hi {
+		t.Fatalf("CI degenerate: [%v, %v]", lo, hi)
+	}
+	if _, _, err := StationaryBootstrapCI(nil, Mean, 10, 10, 0.95, 1); err == nil {
+		t.Fatal("empty series must fail")
+	}
+}

@@ -1,0 +1,413 @@
+// Package workload generates synthetic production-like VM traces.
+//
+// Google's production traces are proprietary, so this package substitutes a
+// statistically matched generator (see DESIGN.md §1). It reproduces the
+// published structure the algorithms depend on:
+//
+//   - the generational skew of Fig. 1 (≈88% of VMs live under an hour while
+//     ≈98% of core-hours come from VMs of one hour or more),
+//   - multi-modal lifetime laws per VM type, so that some VMs are
+//     fundamentally unpredictable from features alone (Fig. 2, §3),
+//   - feature→lifetime correlation (admission-policy VMs are long-lived,
+//     spot/batch VMs short-lived) matching the importance ranking of
+//     Fig. 11, and
+//   - Poisson arrivals with diurnal modulation at a rate calibrated to a
+//     target steady-state pool utilization.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/features"
+	"lava/internal/resources"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+)
+
+// LifeMode is one log-normal component of a VM type's lifetime law.
+type LifeMode struct {
+	Weight      float64 // relative weight within the type
+	MedianHours float64 // median lifetime of this mode, hours
+	Sigma       float64 // log-normal sigma (natural log domain)
+}
+
+// TypeSpec describes one VM type: its share of arrivals, shapes, features
+// and lifetime law.
+type TypeSpec struct {
+	Name            string
+	Weight          float64 // share of VM arrivals
+	Cores           []int64 // candidate core counts (uniform choice)
+	MemPerCoreMB    int64
+	SSDProb         float64 // probability a VM of this type attaches SSD
+	SSDGB           int64
+	Spot            bool
+	AdmissionPolicy bool
+	Priority        string
+	MetadataIDs     int // number of distinct metadata-id values
+	Modes           []LifeMode
+	MaxLifetime     time.Duration // cap on sampled lifetimes (0 = 60 days)
+}
+
+// DefaultMaxLifetime caps sampled lifetimes at two weeks, keeping traces
+// within reach of steady state over a multi-week study while preserving the
+// heavy-tailed core-hour distribution of Fig. 1.
+const DefaultMaxLifetime = 14 * simtime.Day
+
+// cappedLogNormalMeanHours returns E[min(T, cap)] for T ~ LogNormal(ln
+// median, sigma), the closed form
+//
+//	E[min(T,c)] = e^{mu+sigma^2/2} Phi((ln c - mu - sigma^2)/sigma)
+//	            + c (1 - Phi((ln c - mu)/sigma)).
+func cappedLogNormalMeanHours(medianHours, sigma, capHours float64) float64 {
+	if sigma <= 0 {
+		if medianHours < capHours {
+			return medianHours
+		}
+		return capHours
+	}
+	mu := math.Log(medianHours)
+	lc := math.Log(capHours)
+	phi := func(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+	return math.Exp(mu+sigma*sigma/2)*phi((lc-mu-sigma*sigma)/sigma) +
+		capHours*(1-phi((lc-mu)/sigma))
+}
+
+// meanLifetimeHours returns E[T] in hours for the type's mixture law,
+// accounting for the lifetime cap.
+func (t *TypeSpec) meanLifetimeHours() float64 {
+	cap := t.MaxLifetime
+	if cap == 0 {
+		cap = DefaultMaxLifetime
+	}
+	capH := cap.Hours()
+	var wsum, sum float64
+	for _, m := range t.Modes {
+		wsum += m.Weight
+		sum += m.Weight * cappedLogNormalMeanHours(m.MedianHours, m.Sigma, capH)
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// meanCores returns the expected core count of the type.
+func (t *TypeSpec) meanCores() float64 {
+	if len(t.Cores) == 0 {
+		return 0
+	}
+	var s int64
+	for _, c := range t.Cores {
+		s += c
+	}
+	return float64(s) / float64(len(t.Cores))
+}
+
+// PoolSpec describes one pool's synthetic trace.
+type PoolSpec struct {
+	Name       string
+	Zone       string
+	Hosts      int
+	HostShape  resources.Vector
+	TargetUtil float64       // steady-state CPU utilization to calibrate arrivals
+	Duration   time.Duration // steady-state trace length (after prefill)
+	Seed       int64
+	Mix        []TypeSpec // defaults to DefaultMix() when empty
+	Diurnal    float64    // arrival-rate modulation amplitude in [0,1)
+
+	// Prefill prepends a warm-up window so long-lived VMs accumulate to
+	// steady state before the measured portion begins (the simulator
+	// warm-up of Appendix F). The generated trace covers
+	// [0, Prefill+Duration) and records Prefill in Trace.WarmUp; consumers
+	// exclude the warm-up from aggregates. Defaults to 0.
+	Prefill time.Duration
+
+	// FirstVMID offsets VM IDs so multi-pool studies have globally unique
+	// IDs.
+	FirstVMID cluster.VMID
+}
+
+// DefaultHostShape is a C2-like 64-core host with 6 GiB per core and local
+// SSD. VM types span 2-8 GiB per core, so both resource dimensions bind on
+// different hosts — the source of the stranding the paper optimizes (§2.3).
+var DefaultHostShape = resources.Cores(64, 64*6144, 3000)
+
+// DefaultMix returns the standard VM-type catalog. The mix is tuned so that
+// roughly 88% of VMs live under an hour while the vast majority of
+// core-hours belong to VMs of an hour or more (Fig. 1), and includes
+// bimodal types whose lifetimes features cannot fully determine (Fig. 2).
+func DefaultMix() []TypeSpec {
+	return []TypeSpec{
+		{
+			// The thin long tails on the batch types are the §1 mechanism:
+			// a model can only predict these VMs short, so a host packed
+			// with ~70 of them has a >50% chance of hiding a long-lived
+			// one. One-shot schedulers never find out; repredicting ones
+			// do.
+			Name: "batch-tiny", Weight: 0.58,
+			Cores: []int64{1, 2}, MemPerCoreMB: 2048,
+			Spot: true, Priority: "batch", MetadataIDs: 40,
+			Modes: []LifeMode{{0.985, 0.08, 1.0}, {0.015, 60, 0.8}}, // median ~5 min + 1.5% long tail
+		},
+		{
+			Name: "batch-short", Weight: 0.27,
+			Cores: []int64{2, 4}, MemPerCoreMB: 4096,
+			Spot: true, Priority: "batch", MetadataIDs: 25,
+			Modes: []LifeMode{{0.98, 0.33, 0.8}, {0.02, 48, 0.9}}, // median ~20 min + 2% long tail
+		},
+		{
+			// Lifetimes straddling the LA-Binary 2h cutoff: the middle band
+			// where coarse classification costs packing quality.
+			Name: "ci-runner", Weight: 0.05,
+			Cores: []int64{4, 8}, MemPerCoreMB: 2048,
+			Spot: false, Priority: "preemptible", MetadataIDs: 15,
+			Modes: []LifeMode{{0.97, 1.5, 0.7}, {0.03, 72, 0.7}}, // median 1.5h + 3% long tail
+		},
+		{
+			Name: "batch-medium", Weight: 0.035,
+			Cores: []int64{2, 4, 8}, MemPerCoreMB: 4096,
+			Spot: true, Priority: "batch", MetadataIDs: 20,
+			Modes: []LifeMode{{1, 6, 0.8}}, // median 6h
+		},
+		{
+			Name: "dev-box", Weight: 0.04,
+			Cores: []int64{2, 4, 8}, MemPerCoreMB: 4096,
+			Priority: "prod", MetadataIDs: 30,
+			// Bimodal: most die within a working day, some live for days —
+			// irreducible uncertainty that one-shot predictors mishandle.
+			Modes: []LifeMode{{0.6, 4, 0.7}, {0.4, 72, 0.6}},
+		},
+		{
+			Name: "web-service", Weight: 0.02,
+			Cores: []int64{4, 8, 16}, MemPerCoreMB: 8192, SSDProb: 0.3, SSDGB: 375,
+			Priority: "prod", MetadataIDs: 12,
+			Modes: []LifeMode{{0.3, 48, 0.8}, {0.7, 150, 0.7}},
+		},
+		{
+			Name: "database", Weight: 0.013,
+			Cores: []int64{16, 30}, MemPerCoreMB: 8192, SSDProb: 0.8, SSDGB: 750,
+			Priority: "prod", MetadataIDs: 8,
+			Modes: []LifeMode{{1, 200, 0.9}},
+		},
+		{
+			Name: "special-admission", Weight: 0.007,
+			Cores: []int64{8, 16}, MemPerCoreMB: 4096,
+			AdmissionPolicy: true, Priority: "prod", MetadataIDs: 4,
+			Modes: []LifeMode{{1, 180, 0.5}},
+		},
+	}
+}
+
+// E2Mix returns a cost-optimized (E2-like) catalog: smaller shapes, no SSD,
+// slightly different lifetime structure.
+func E2Mix() []TypeSpec {
+	mix := DefaultMix()
+	for i := range mix {
+		cs := make([]int64, 0, len(mix[i].Cores))
+		for _, c := range mix[i].Cores {
+			if c > 16 {
+				c = 16
+			}
+			cs = append(cs, c)
+		}
+		mix[i].Cores = cs
+		mix[i].SSDProb = 0
+		mix[i].MemPerCoreMB = 2048 + 2048*(int64(i)%2)
+	}
+	return mix
+}
+
+// Generate builds the synthetic trace for spec. It is deterministic in
+// spec.Seed.
+func Generate(spec PoolSpec) (*trace.Trace, error) {
+	if spec.Hosts <= 0 {
+		return nil, fmt.Errorf("workload: pool %q has no hosts", spec.Name)
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("workload: pool %q has no duration", spec.Name)
+	}
+	if spec.TargetUtil <= 0 || spec.TargetUtil >= 1 {
+		return nil, fmt.Errorf("workload: pool %q target utilization %v out of (0,1)", spec.Name, spec.TargetUtil)
+	}
+	mix := spec.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix()
+	}
+	shape := spec.HostShape
+	if shape.IsZero() {
+		shape = DefaultHostShape
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Calibrate the arrival rate so the *binding* resource dimension
+	// reaches the target utilization in steady state: running demand per
+	// dimension is lambda (VMs/h) x E[shape_dim x lifetime-hours].
+	var wsum, coreHoursPerVM, memMBHoursPerVM float64
+	for i := range mix {
+		wsum += mix[i].Weight
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("workload: pool %q mix has zero weight", spec.Name)
+	}
+	for i := range mix {
+		w := mix[i].Weight / wsum
+		life := mix[i].meanLifetimeHours()
+		coreHoursPerVM += w * mix[i].meanCores() * life
+		memMBHoursPerVM += w * mix[i].meanCores() * float64(mix[i].MemPerCoreMB) * life
+	}
+	totalCores := float64(shape.CPUMilli) / 1000 * float64(spec.Hosts)
+	totalMemMB := float64(shape.MemoryMB) * float64(spec.Hosts)
+	lambda := spec.TargetUtil * totalCores / coreHoursPerVM // VMs per hour
+	if memLambda := spec.TargetUtil * totalMemMB / memMBHoursPerVM; memLambda < lambda {
+		lambda = memLambda
+	}
+
+	tr := &trace.Trace{
+		PoolName: spec.Name,
+		Hosts:    spec.Hosts,
+		HostCPU:  shape.CPUMilli,
+		HostMem:  shape.MemoryMB,
+		HostSSD:  shape.SSDGB,
+		WarmUp:   spec.Prefill,
+		Horizon:  spec.Prefill + spec.Duration,
+	}
+
+	total := spec.Prefill + spec.Duration
+	id := spec.FirstVMID
+	now := time.Duration(0)
+	for {
+		// Diurnally modulated Poisson arrivals via rate scaling.
+		rate := lambda
+		if spec.Diurnal > 0 {
+			phase := 2 * math.Pi * now.Hours() / 24
+			rate = lambda * (1 + spec.Diurnal*math.Sin(phase))
+		}
+		gap := rng.ExpFloat64() / rate // hours
+		now += simtime.FromHours(gap)
+		if now >= total {
+			break
+		}
+		ts := pickType(rng, mix, wsum)
+		rec := sampleVM(rng, ts, id, now, spec.Zone)
+		tr.Records = append(tr.Records, rec)
+		id++
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// pickType samples a VM type proportionally to weight.
+func pickType(rng *rand.Rand, mix []TypeSpec, wsum float64) *TypeSpec {
+	x := rng.Float64() * wsum
+	for i := range mix {
+		x -= mix[i].Weight
+		if x <= 0 {
+			return &mix[i]
+		}
+	}
+	return &mix[len(mix)-1]
+}
+
+// sampleVM draws one VM of the given type.
+func sampleVM(rng *rand.Rand, ts *TypeSpec, id cluster.VMID, arrival time.Duration, zone string) trace.Record {
+	cores := ts.Cores[rng.Intn(len(ts.Cores))]
+	shape := resources.Vector{CPUMilli: cores * 1000, MemoryMB: cores * ts.MemPerCoreMB}
+	hasSSD := rng.Float64() < ts.SSDProb
+	if hasSSD {
+		shape.SSDGB = ts.SSDGB
+	}
+
+	lifetime := sampleLifetime(rng, ts)
+
+	feat := features.Features{
+		Zone:            zone,
+		VMShape:         fmt.Sprintf("%s-%d", ts.Name, cores),
+		VMCategory:      ts.Name,
+		MetadataID:      fmt.Sprintf("%s-m%02d", ts.Name, rng.Intn(maxInt(ts.MetadataIDs, 1))),
+		Priority:        ts.Priority,
+		HasSSD:          hasSSD,
+		Spot:            ts.Spot,
+		AdmissionPolicy: ts.AdmissionPolicy,
+		CPUMilli:        shape.CPUMilli,
+		MemoryMB:        shape.MemoryMB,
+	}
+	return trace.Record{ID: id, Arrival: arrival, Lifetime: lifetime, Shape: shape, Feat: feat}
+}
+
+// sampleLifetime draws from the type's mixture-of-log-normals law.
+func sampleLifetime(rng *rand.Rand, ts *TypeSpec) time.Duration {
+	var wsum float64
+	for _, m := range ts.Modes {
+		wsum += m.Weight
+	}
+	x := rng.Float64() * wsum
+	mode := ts.Modes[len(ts.Modes)-1]
+	for _, m := range ts.Modes {
+		x -= m.Weight
+		if x <= 0 {
+			mode = m
+			break
+		}
+	}
+	h := mode.MedianHours * math.Exp(mode.Sigma*rng.NormFloat64())
+	cap := ts.MaxLifetime
+	if cap == 0 {
+		cap = DefaultMaxLifetime
+	}
+	d := simtime.FromHours(h)
+	if d > cap {
+		d = cap
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StudyPools returns n pool specs spanning sizes, utilizations and seeds,
+// mirroring the 24-pool C2 simulation study of Fig. 6 ("a wide range of
+// sizes, geographies, and usage patterns"). Durations default to the
+// paper's seven weeks unless overridden.
+func StudyPools(n int, duration time.Duration) []PoolSpec {
+	if duration == 0 {
+		duration = 7 * simtime.Week
+	}
+	zones := []string{"us-central1-a", "us-east1-b", "europe-west4-a", "asia-east1-c", "us-west1-b", "southamerica-east1-a"}
+	sizes := []int{48, 96, 160, 280}
+	utils := []float64{0.55, 0.65, 0.75}
+	specs := make([]PoolSpec, 0, n)
+	var firstID cluster.VMID
+	for i := 0; i < n; i++ {
+		spec := PoolSpec{
+			Name:       fmt.Sprintf("c2-pool-%02d", i),
+			Zone:       zones[i%len(zones)],
+			Hosts:      sizes[i%len(sizes)],
+			HostShape:  DefaultHostShape,
+			TargetUtil: utils[i%len(utils)],
+			Duration:   duration,
+			Prefill:    3 * simtime.Week,
+			Seed:       int64(1000 + 7919*i),
+			Diurnal:    0.3,
+			FirstVMID:  firstID,
+		}
+		specs = append(specs, spec)
+		// Reserve a generous ID block per pool.
+		firstID += 5_000_000
+	}
+	return specs
+}

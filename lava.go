@@ -1,0 +1,179 @@
+// Package lava is the public facade of the LAVA reproduction: lifetime-aware
+// VM allocation with learned distributions and adaptation to mispredictions
+// (MLSys 2025).
+//
+// The facade wires together the internal packages for the common end-to-end
+// flow — generate (or load) a trace, pick a lifetime model and a scheduling
+// policy, replay the trace through the simulator, and read the bin-packing
+// metrics the paper reports:
+//
+//	tr, _ := lava.GenerateTrace(lava.TraceConfig{Hosts: 64, TargetUtil: 0.65,
+//	    Days: 14, PrefillDays: 10, Seed: 1})
+//	pred, _ := lava.TrainModel(tr, lava.ModelGBDT)
+//	res, _ := lava.Simulate(tr, lava.PolicyLAVA, pred)
+//	fmt.Println(res.AvgEmptyHostFrac)
+//
+// Lower-level control (custom scoring chains, defragmentation engines,
+// stranding probes, causal analysis) is available in the internal packages;
+// see DESIGN.md for the map.
+package lava
+
+import (
+	"fmt"
+	"time"
+
+	"lava/internal/model"
+	"lava/internal/model/gbdt"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+// Trace is a replayable VM trace.
+type Trace = trace.Trace
+
+// Result is a simulation outcome.
+type Result = sim.Result
+
+// Predictor estimates remaining VM lifetimes.
+type Predictor = model.Predictor
+
+// TraceConfig configures synthetic trace generation.
+type TraceConfig struct {
+	Name        string  // pool name (default "pool")
+	Hosts       int     // number of hosts (default 64)
+	TargetUtil  float64 // steady-state CPU utilization (default 0.65)
+	Days        int     // steady-state days to generate (default 14)
+	PrefillDays int     // warm-up days before the measured window (default 10)
+	Seed        int64
+	E2          bool // use the cost-optimized E2 mix instead of C2
+}
+
+// GenerateTrace builds a production-like synthetic trace (see
+// internal/workload for the distributional guarantees).
+func GenerateTrace(cfg TraceConfig) (*Trace, error) {
+	if cfg.Name == "" {
+		cfg.Name = "pool"
+	}
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 64
+	}
+	if cfg.TargetUtil == 0 {
+		cfg.TargetUtil = 0.65
+	}
+	if cfg.Days == 0 {
+		cfg.Days = 14
+	}
+	if cfg.PrefillDays == 0 {
+		cfg.PrefillDays = 10
+	}
+	var mix []workload.TypeSpec
+	if cfg.E2 {
+		mix = workload.E2Mix()
+	}
+	return workload.Generate(workload.PoolSpec{
+		Name:       cfg.Name,
+		Zone:       "zone-a",
+		Hosts:      cfg.Hosts,
+		TargetUtil: cfg.TargetUtil,
+		Duration:   time.Duration(cfg.Days) * simtime.Day,
+		Prefill:    time.Duration(cfg.PrefillDays) * simtime.Day,
+		Seed:       cfg.Seed,
+		Diurnal:    0.3,
+		Mix:        mix,
+	})
+}
+
+// ModelKind selects a lifetime model family.
+type ModelKind string
+
+// Supported model families (Table 4).
+const (
+	ModelGBDT   ModelKind = "gbdt"   // production model: gradient-boosted trees
+	ModelKM     ModelKind = "km"     // stratified Kaplan-Meier lookup table
+	ModelDist   ModelKind = "dist"   // empirical-distribution table
+	ModelOracle ModelKind = "oracle" // ground-truth lifetimes
+)
+
+// TrainModel fits a lifetime model of the given kind on the trace's records.
+// ModelOracle needs no training and ignores the trace.
+func TrainModel(tr *Trace, kind ModelKind) (Predictor, error) {
+	switch kind {
+	case ModelGBDT:
+		return model.TrainGBDT(tr.Records, gbdt.Params{Trees: 400})
+	case ModelKM:
+		return model.TrainKM(tr.Records, nil)
+	case ModelDist:
+		return model.TrainDistTable(tr.Records, nil)
+	case ModelOracle:
+		return model.Oracle{}, nil
+	default:
+		return nil, fmt.Errorf("lava: unknown model kind %q", kind)
+	}
+}
+
+// PolicyKind selects a scheduling algorithm.
+type PolicyKind string
+
+// Supported policies.
+const (
+	PolicyWasteMin PolicyKind = "wastemin"  // production baseline (no lifetimes)
+	PolicyBestFit  PolicyKind = "bestfit"   // classic best fit
+	PolicyLABinary PolicyKind = "la-binary" // Barbalho et al., one-shot predictions
+	PolicyNILAS    PolicyKind = "nilas"     // non-invasive lifetime-aware scheduling
+	PolicyLAVA     PolicyKind = "lava"      // lifetime-aware VM allocation
+)
+
+// NewPolicy builds a policy over the given predictor. The lifetime-unaware
+// baselines accept a nil predictor.
+func NewPolicy(kind PolicyKind, pred Predictor) (scheduler.Policy, error) {
+	switch kind {
+	case PolicyWasteMin:
+		return scheduler.NewWasteMin(), nil
+	case PolicyBestFit:
+		return scheduler.NewBestFit(), nil
+	case PolicyLABinary, PolicyNILAS, PolicyLAVA:
+		if pred == nil {
+			return nil, fmt.Errorf("lava: policy %q needs a predictor", kind)
+		}
+		switch kind {
+		case PolicyLABinary:
+			return scheduler.NewLABinary(pred), nil
+		case PolicyNILAS:
+			return scheduler.NewNILAS(pred, time.Minute), nil
+		default:
+			return scheduler.NewLAVA(pred, time.Minute), nil
+		}
+	default:
+		return nil, fmt.Errorf("lava: unknown policy kind %q", kind)
+	}
+}
+
+// Simulate replays the trace under the policy and returns the metrics.
+func Simulate(tr *Trace, kind PolicyKind, pred Predictor) (*Result, error) {
+	pol, err := NewPolicy(kind, pred)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{Trace: tr, Policy: pol})
+}
+
+// Compare runs several policies on the same trace and returns results keyed
+// by policy kind — the quickest way to reproduce the paper's headline
+// comparison on one pool.
+func Compare(tr *Trace, pred Predictor, kinds ...PolicyKind) (map[PolicyKind]*Result, error) {
+	if len(kinds) == 0 {
+		kinds = []PolicyKind{PolicyWasteMin, PolicyLABinary, PolicyNILAS, PolicyLAVA}
+	}
+	out := make(map[PolicyKind]*Result, len(kinds))
+	for _, k := range kinds {
+		res, err := Simulate(tr, k, pred)
+		if err != nil {
+			return nil, fmt.Errorf("lava: %s: %w", k, err)
+		}
+		out[k] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package lava
+
+import (
+	"testing"
+)
+
+func smallTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := GenerateTrace(TraceConfig{Hosts: 24, Days: 3, PrefillDays: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateTraceDefaults(t *testing.T) {
+	tr, err := GenerateTrace(TraceConfig{Hosts: 16, Days: 1, PrefillDays: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hosts != 16 || len(tr.Records) == 0 {
+		t.Fatalf("bad trace: hosts=%d records=%d", tr.Hosts, len(tr.Records))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainModelKinds(t *testing.T) {
+	tr := smallTrace(t)
+	for _, kind := range []ModelKind{ModelKM, ModelDist, ModelOracle} {
+		p, err := TrainModel(tr, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s: empty name", kind)
+		}
+	}
+	if _, err := TrainModel(tr, "bogus"); err == nil {
+		t.Fatal("unknown model kind must fail")
+	}
+}
+
+func TestNewPolicyValidation(t *testing.T) {
+	if _, err := NewPolicy(PolicyNILAS, nil); err == nil {
+		t.Fatal("NILAS without predictor must fail")
+	}
+	if _, err := NewPolicy("bogus", nil); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	if _, err := NewPolicy(PolicyWasteMin, nil); err != nil {
+		t.Fatal("baseline must not need a predictor")
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	tr := smallTrace(t)
+	pred, err := TrainModel(tr, ModelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(tr, PolicyNILAS, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placements == 0 || res.AvgEmptyHostFrac <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tr := smallTrace(t)
+	pred, err := TrainModel(tr, ModelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Compare(tr, pred, PolicyWasteMin, PolicyNILAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("results = %d", len(out))
+	}
+	if out[PolicyNILAS].AvgEmptyHostFrac <= 0 {
+		t.Fatal("NILAS produced no empty hosts")
+	}
+}
