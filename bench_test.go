@@ -5,6 +5,8 @@
 package lava
 
 import (
+	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -257,6 +259,35 @@ func BenchmarkTable4Inference(b *testing.B) {
 		b.Run(mp.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				mp.p.PredictRemaining(vm, time.Hour)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateMany measures the experiment-sweep substrate: a batch of
+// simulations executed through the runner at 1 worker (the old sequential
+// replay) vs GOMAXPROCS workers. The ratio is the wall-clock speedup every
+// multi-configuration study (Fig. 6, Table 1, cmd/experiments -exp all)
+// inherits.
+func BenchmarkSimulateMany(b *testing.B) {
+	tr := benchTrace(b)
+	specs := make([]SimSpec, 8)
+	for i := range specs {
+		kind := PolicyWasteMin
+		if i%2 == 1 {
+			kind = PolicyBestFit
+		}
+		specs[i] = SimSpec{Name: fmt.Sprintf("run-%d", i), Trace: tr, Policy: kind}
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateMany(context.Background(), bc.workers, specs...); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

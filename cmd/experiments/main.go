@@ -2,9 +2,17 @@
 //
 // Usage:
 //
-//	experiments -exp fig6              # one experiment
-//	experiments -exp all               # everything (slow at scale 1)
-//	experiments -exp table1 -scale 0.5 # scaled-down run
+//	experiments -exp fig6                    # one experiment
+//	experiments -exp all                     # everything (slow at scale 1)
+//	experiments -exp table1 -scale 0.5       # scaled-down run
+//	experiments -exp all -parallel 8         # fan simulations out over 8 workers
+//	experiments -exp fig6 -json BENCH_fig6.json  # machine-readable results
+//
+// Simulation batches fan out across -parallel workers (default GOMAXPROCS;
+// results are identical at any worker count, see internal/runner). Progress
+// and ETA go to stderr with -progress. -json writes every batch's per-job
+// metrics and timings as an indented JSON document ("-" for stdout) for
+// BENCH_*.json trajectory tracking.
 //
 // Each experiment prints the same rows/series the paper reports plus the
 // paper's published values for comparison; EXPERIMENTS.md records a full
@@ -19,13 +27,17 @@ import (
 	"time"
 
 	"lava/internal/experiments"
+	"lava/internal/runner"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+") or 'all'")
-		scale = flag.Float64("scale", 0.25, "study scale in (0,1]: 1 = paper-sized (slow)")
-		seed  = flag.Int64("seed", 42, "random seed")
+		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+") or 'all'")
+		scale    = flag.Float64("scale", 0.25, "study scale in (0,1]: 1 = paper-sized (slow)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 0, "simulation workers: 1 = sequential, 0 = GOMAXPROCS")
+		jsonOut  = flag.String("json", "", "write machine-readable batch results to this file ('-' for stdout)")
+		progress = flag.Bool("progress", false, "report batch progress and ETA on stderr")
 	)
 	flag.Parse()
 
@@ -33,16 +45,63 @@ func main() {
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
-	opt := experiments.Options{Scale: *scale, Seed: *seed}
+
+	opt := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	if *progress {
+		opt.Progress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%-24s %d/%d done (%.1fs elapsed, ETA %.1fs)   ",
+				p.Name, p.Done, p.Total, p.Elapsed.Seconds(), p.ETA.Seconds())
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	var sink *runner.Sink
+	if *jsonOut != "" {
+		sink = &runner.Sink{}
+		opt.Sink = sink
+	}
+
+	start := time.Now()
 	for _, name := range names {
-		start := time.Now()
+		expStart := time.Now()
 		rep, err := experiments.Run(strings.TrimSpace(name), opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (%.1fs) ====\n", name, time.Since(start).Seconds())
+		fmt.Printf("==== %s (%.1fs) ====\n", name, time.Since(expStart).Seconds())
 		rep.Render(os.Stdout)
 		fmt.Println()
 	}
+
+	if sink != nil {
+		doc := runner.Document{
+			Scale:      *scale,
+			Seed:       *seed,
+			Parallel:   runner.Workers(*parallel),
+			ElapsedSec: time.Since(start).Seconds(),
+			Batches:    sink.Summaries(),
+		}
+		if err := writeDoc(*jsonOut, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: write json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeDoc writes the JSON document to path, or stdout for "-".
+func writeDoc(path string, doc runner.Document) error {
+	if path == "-" {
+		return runner.WriteJSON(os.Stdout, doc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := runner.WriteJSON(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,3 @@
+module lava
+
+go 1.24

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+
+	"lava/internal/resources"
+)
+
+// blockShift sets the feasibility-index block size (1<<blockShift hosts per
+// block). 16 hosts per block keeps the summary scan at ~6% of a full host
+// scan while pruning whole blocks once pools run hot.
+const blockShift = 4
+
+// capIndex is the pool's free-capacity index: hosts are grouped into fixed
+// blocks of 1<<blockShift consecutive IDs, and each block maintains the
+// component-wise maximum free vector over its hosts plus a count of its
+// non-empty hosts. Feasibility scans (scheduler.feasible, LAVA's deadline
+// sweep) consult the summaries first and skip whole blocks that cannot
+// possibly fit the VM — the hot-path optimization that keeps per-request
+// cost sublinear once pools run near capacity, where most hosts cannot take
+// another VM.
+//
+// The component-wise max is an over-approximation (the max CPU and max
+// memory may come from different hosts), so a block that survives pruning
+// may still contain no feasible host; visitors re-check Fits per host.
+// Pruned blocks are exact: if the shape does not fit the max vector, it
+// fits no host in the block. Host IDs are dense (NewPool numbers them
+// 0..n-1), so block membership is ID>>blockShift and iteration order is ID
+// order, preserving scheduling determinism.
+type capIndex struct {
+	hosts    []*Host
+	maxFree  []resources.Vector // per block: component-wise max free
+	nonEmpty []int              // per block: hosts with >= 1 VM
+}
+
+// newCapIndex builds the index over the pool's host slice.
+func newCapIndex(hosts []*Host) *capIndex {
+	nb := (len(hosts) + (1 << blockShift) - 1) >> blockShift
+	ix := &capIndex{
+		hosts:    hosts,
+		maxFree:  make([]resources.Vector, nb),
+		nonEmpty: make([]int, nb),
+	}
+	for b := range ix.maxFree {
+		ix.rebuild(b)
+	}
+	return ix
+}
+
+// rebuild recomputes one block's summary from its hosts.
+func (ix *capIndex) rebuild(b int) {
+	lo := b << blockShift
+	hi := lo + (1 << blockShift)
+	if hi > len(ix.hosts) {
+		hi = len(ix.hosts)
+	}
+	var mf resources.Vector
+	ne := 0
+	for _, h := range ix.hosts[lo:hi] {
+		f := h.Free()
+		if f.CPUMilli > mf.CPUMilli {
+			mf.CPUMilli = f.CPUMilli
+		}
+		if f.MemoryMB > mf.MemoryMB {
+			mf.MemoryMB = f.MemoryMB
+		}
+		if f.SSDGB > mf.SSDGB {
+			mf.SSDGB = f.SSDGB
+		}
+		if !h.Empty() {
+			ne++
+		}
+	}
+	ix.maxFree[b] = mf
+	ix.nonEmpty[b] = ne
+}
+
+// update refreshes the block containing the host. Called by the pool after
+// every mutation of a host's VM set; O(block size).
+func (ix *capIndex) update(id HostID) {
+	ix.rebuild(int(id) >> blockShift)
+}
+
+// appendFeasible appends the available hosts that fit shape to dst, in ID
+// order.
+func (ix *capIndex) appendFeasible(dst []*Host, shape resources.Vector) []*Host {
+	for b, mf := range ix.maxFree {
+		if !shape.Fits(mf) {
+			continue
+		}
+		lo := b << blockShift
+		hi := lo + (1 << blockShift)
+		if hi > len(ix.hosts) {
+			hi = len(ix.hosts)
+		}
+		for _, h := range ix.hosts[lo:hi] {
+			if !h.Unavailable && h.Fits(shape) {
+				dst = append(dst, h)
+			}
+		}
+	}
+	return dst
+}
+
+// forEachNonEmpty calls fn for every host with at least one VM, in ID
+// order, skipping fully empty blocks.
+func (ix *capIndex) forEachNonEmpty(fn func(*Host)) {
+	for b, ne := range ix.nonEmpty {
+		if ne == 0 {
+			continue
+		}
+		lo := b << blockShift
+		hi := lo + (1 << blockShift)
+		if hi > len(ix.hosts) {
+			hi = len(ix.hosts)
+		}
+		for _, h := range ix.hosts[lo:hi] {
+			if !h.Empty() {
+				fn(h)
+			}
+		}
+	}
+}
+
+// emptyHosts returns the number of hosts with no VMs, from the block
+// summaries (O(blocks) instead of O(hosts)).
+func (ix *capIndex) emptyHosts() int {
+	n := len(ix.hosts)
+	for _, ne := range ix.nonEmpty {
+		n -= ne
+	}
+	return n
+}
+
+// checkInvariants verifies every block summary against its hosts; wired
+// into Pool.CheckInvariants so index corruption surfaces in tests.
+func (ix *capIndex) checkInvariants() error {
+	for b := range ix.maxFree {
+		mf, ne := ix.maxFree[b], ix.nonEmpty[b]
+		ix.rebuild(b)
+		if ix.maxFree[b] != mf || ix.nonEmpty[b] != ne {
+			return fmt.Errorf("capIndex: block %d stale: maxFree %s != %s or nonEmpty %d != %d",
+				b, mf, ix.maxFree[b], ne, ix.nonEmpty[b])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"lava/internal/resources"
+)
+
+// naiveFeasible is the brute-force reference for AppendFeasible.
+func naiveFeasible(p *Pool, shape resources.Vector) []*Host {
+	var out []*Host
+	for _, h := range p.Hosts() {
+		if !h.Unavailable && h.Fits(shape) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func sameHosts(t *testing.T, got, want []*Host) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("feasible sets differ: got %d hosts, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("feasible[%d] = host %d, want host %d", i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+// TestAppendFeasibleMatchesScan drives a pool through a random
+// place/exit/migrate workload and checks the indexed feasibility scan
+// against the brute-force reference after every step, for a spread of
+// query shapes.
+func TestAppendFeasibleMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPool("ix", 37, resources.Cores(32, 131072, 500)) // odd size: partial last block
+	shapes := []resources.Vector{
+		resources.Cores(1, 4096, 0),
+		resources.Cores(8, 32768, 100),
+		resources.Cores(16, 65536, 0),
+		resources.Cores(32, 131072, 500), // whole-host
+		resources.Cores(48, 16384, 0),    // never fits
+	}
+	var buf []*Host
+	var id VMID
+	live := []*VM{}
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // place
+			shape := shapes[rng.Intn(3)]
+			cands := naiveFeasible(p, shape)
+			if len(cands) == 0 {
+				continue
+			}
+			id++
+			vm := &VM{ID: id, Shape: shape}
+			if err := p.Place(vm, cands[rng.Intn(len(cands))]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, vm)
+		case op < 8: // exit
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			if _, _, err := p.Exit(live[i].ID); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		case op < 9: // migrate
+			if len(live) == 0 {
+				continue
+			}
+			vm := live[rng.Intn(len(live))]
+			cands := naiveFeasible(p, vm.Shape)
+			dst := cands[:0]
+			for _, h := range cands {
+				if h != vm.Host {
+					dst = append(dst, h)
+				}
+			}
+			if len(dst) == 0 {
+				continue
+			}
+			if _, err := p.Migrate(vm.ID, dst[rng.Intn(len(dst))]); err != nil {
+				t.Fatal(err)
+			}
+		default: // toggle availability
+			p.Hosts()[rng.Intn(p.NumHosts())].Unavailable = rng.Intn(2) == 0
+		}
+		if step%50 != 0 {
+			continue
+		}
+		for _, shape := range shapes {
+			buf = p.AppendFeasible(buf[:0], shape)
+			sameHosts(t, buf, naiveFeasible(p, shape))
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestForEachNonEmpty checks the indexed non-empty sweep and the O(blocks)
+// empty-host count against direct host inspection.
+func TestForEachNonEmpty(t *testing.T) {
+	p := NewPool("ne", 40, resources.Cores(8, 32768, 0))
+	// Occupy a scatter of hosts across blocks, including the last.
+	for i, hid := range []HostID{0, 15, 16, 39} {
+		vm := &VM{ID: VMID(i + 1), Shape: resources.Cores(1, 1024, 0)}
+		if err := p.Place(vm, p.Host(hid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []HostID
+	p.ForEachNonEmpty(func(h *Host) { seen = append(seen, h.ID) })
+	want := []HostID{0, 15, 16, 39}
+	if len(seen) != len(want) {
+		t.Fatalf("non-empty hosts = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("non-empty hosts = %v, want %v", seen, want)
+		}
+	}
+	if got := p.EmptyHosts(); got != 36 {
+		t.Fatalf("EmptyHosts = %d, want 36", got)
+	}
+	// Drain one and re-check.
+	if _, _, err := p.Exit(2); err != nil { // vm 2 was on host 15
+		t.Fatal(err)
+	}
+	if got := p.EmptyHosts(); got != 37 {
+		t.Fatalf("EmptyHosts after exit = %d, want 37", got)
+	}
+}
+
+// TestCloneRebuildsIndex verifies a cloned pool answers feasibility queries
+// independently of the original.
+func TestCloneRebuildsIndex(t *testing.T) {
+	p := NewPool("cl", 8, resources.Cores(4, 16384, 0))
+	vm := &VM{ID: 1, Shape: resources.Cores(4, 16384, 0)}
+	if err := p.Place(vm, p.Host(0)); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if _, _, err := p.Exit(1); err != nil {
+		t.Fatal(err)
+	}
+	// Original: host 0 free again; clone: host 0 still full.
+	full := resources.Cores(4, 16384, 0)
+	if got := len(p.AppendFeasible(nil, full)); got != 8 {
+		t.Fatalf("original feasible = %d, want 8", got)
+	}
+	if got := len(c.AppendFeasible(nil, full)); got != 7 {
+		t.Fatalf("clone feasible = %d, want 7", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

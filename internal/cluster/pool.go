@@ -16,6 +16,7 @@ type Pool struct {
 	hosts []*Host // sorted by ID, immutable membership after construction
 	byID  map[HostID]*Host
 	vms   map[VMID]*Host // VM -> current host
+	idx   *capIndex      // free-capacity index over hosts
 
 	// Counters for telemetry (§7: production monitoring).
 	Placements int
@@ -35,6 +36,7 @@ func NewPool(name string, n int, capacity resources.Vector) *Pool {
 		p.hosts = append(p.hosts, h)
 		p.byID[h.ID] = h
 	}
+	p.idx = newCapIndex(p.hosts)
 	return p
 }
 
@@ -53,6 +55,23 @@ func (p *Pool) NumVMs() int { return len(p.vms) }
 // HostOf returns the host currently running the VM, or nil.
 func (p *Pool) HostOf(id VMID) *Host { return p.vms[id] }
 
+// AppendFeasible appends the available hosts that can fit a VM of the given
+// shape to dst and returns the extended slice, in host-ID order. It is the
+// indexed replacement for a full-pool Fits scan: whole blocks of hosts are
+// skipped when their summary says the shape cannot fit (see capIndex).
+// Callers pass a reusable buffer (dst[:0]) to avoid per-request allocation.
+func (p *Pool) AppendFeasible(dst []*Host, shape resources.Vector) []*Host {
+	return p.idx.appendFeasible(dst, shape)
+}
+
+// ForEachNonEmpty calls fn for every host with at least one VM, in host-ID
+// order, skipping fully empty regions of the pool via the index. Policies
+// use it for periodic sweeps (e.g. LAVA deadline checks) that only concern
+// occupied hosts.
+func (p *Pool) ForEachNonEmpty(fn func(*Host)) {
+	p.idx.forEachNonEmpty(fn)
+}
+
 // Place assigns vm to host h. The VM must not already be placed.
 func (p *Pool) Place(vm *VM, h *Host) error {
 	if cur, ok := p.vms[vm.ID]; ok {
@@ -62,6 +81,7 @@ func (p *Pool) Place(vm *VM, h *Host) error {
 		return err
 	}
 	p.vms[vm.ID] = h
+	p.idx.update(h.ID)
 	p.Placements++
 	return nil
 }
@@ -77,6 +97,7 @@ func (p *Pool) Exit(id VMID) (*Host, *VM, error) {
 		return nil, nil, err
 	}
 	delete(p.vms, id)
+	p.idx.update(h.ID)
 	p.Exits++
 	return h, vm, nil
 }
@@ -103,20 +124,17 @@ func (p *Pool) Migrate(id VMID, dst *Host) (*Host, error) {
 		return nil, err
 	}
 	p.vms[id] = dst
+	p.idx.update(src.ID)
+	p.idx.update(dst.ID)
 	vm.Migrations++
 	p.Migrations++
 	return src, nil
 }
 
-// EmptyHosts returns the number of hosts with no VMs.
+// EmptyHosts returns the number of hosts with no VMs, read off the index's
+// block summaries rather than a host scan (it runs at every metric sample).
 func (p *Pool) EmptyHosts() int {
-	n := 0
-	for _, h := range p.hosts {
-		if h.Empty() {
-			n++
-		}
-	}
-	return n
+	return p.idx.emptyHosts()
 }
 
 // EmptyHostFraction returns EmptyHosts / NumHosts, the paper's primary bin
@@ -207,6 +225,7 @@ func (p *Pool) Clone() *Pool {
 			c.vms[vm.ID] = hc
 		}
 	}
+	c.idx = newCapIndex(c.hosts)
 	return c
 }
 
@@ -240,7 +259,7 @@ func (p *Pool) CheckInvariants() error {
 	if len(seen) != len(p.vms) {
 		return fmt.Errorf("vm index size %d != hosted VMs %d", len(p.vms), len(seen))
 	}
-	return nil
+	return p.idx.checkInvariants()
 }
 
 // VMUptimeSum is a telemetry helper: total uptime of running VMs at now.

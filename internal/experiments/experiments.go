@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -13,6 +14,9 @@ import (
 
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
+	"lava/internal/runner"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
 	"lava/internal/simtime"
 	"lava/internal/trace"
 	"lava/internal/workload"
@@ -27,6 +31,19 @@ type Options struct {
 
 	// Seed drives all randomness.
 	Seed int64
+
+	// Parallel is the worker count for simulation batches and other
+	// fan-out stages: 1 runs strictly sequentially, <= 0 uses GOMAXPROCS.
+	// Results are identical at any setting (see internal/runner).
+	Parallel int
+
+	// Progress, if non-nil, receives a snapshot after every batch job
+	// completes (aggregated completion counts and an ETA).
+	Progress func(runner.Progress)
+
+	// Sink, if non-nil, collects machine-readable per-batch results for
+	// BENCH_*.json trajectory output.
+	Sink *runner.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +109,43 @@ func Run(name string, opt Options) (Report, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
 	return r(opt.withDefaults())
+}
+
+// --- concurrent execution ------------------------------------------------
+
+// batch fans the simulation jobs out across the runner's worker pool and
+// returns their results keyed by job name. Results are independent of the
+// worker count; exp names the batch in progress and JSON output.
+func batch(opt Options, exp string, jobs []runner.Job) (map[string]*sim.Result, error) {
+	b := &runner.Batch{Parallel: opt.Parallel, OnProgress: opt.Progress}
+	start := time.Now()
+	results, err := b.Run(context.Background(), jobs)
+	if opt.Sink != nil {
+		opt.Sink.Add(runner.Summarize(exp, b.Workers(), time.Since(start).Seconds(), results))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", exp, err)
+	}
+	out := make(map[string]*sim.Result, len(results))
+	for i := range results {
+		out[results[i].Name] = results[i].Result
+	}
+	return out, nil
+}
+
+// simJob builds a named batch job that replays tr under the policy pol
+// constructs. Policies carry mutable caches, so each job builds its own
+// inside the closure.
+func simJob(name string, seed int64, tr *trace.Trace, pol func() scheduler.Policy) runner.Job {
+	return runner.Job{Name: name, Seed: seed, Run: func() (*sim.Result, error) {
+		return sim.Run(sim.Config{Trace: tr, Policy: pol()})
+	}}
+}
+
+// parDo runs independent tasks (trace generation, model training, shard
+// post-processing) under the same worker budget as the batches.
+func parDo(opt Options, tasks ...func() error) error {
+	return runner.Do(context.Background(), opt.Parallel, tasks...)
 }
 
 // --- shared fixtures -----------------------------------------------------

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"lava/internal/runner"
 )
 
 func tiny() Options { return Options{Scale: 0.08, Seed: 7} }
@@ -185,6 +187,41 @@ func TestTheorem1GapGrows(t *testing.T) {
 	}
 	if r.Gap[len(r.Gap)-1] <= r.Gap[0] {
 		t.Errorf("gap does not grow with m: %v", r.Gap)
+	}
+}
+
+// TestParallelDeterminism is the end-to-end determinism check: a whole
+// experiment rendered under 1 worker and under 8 workers must be
+// byte-identical, and the batch sink must record every simulation job.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	render := func(parallel int) (string, *runner.Sink) {
+		opt := tiny()
+		opt.Parallel = parallel
+		opt.Sink = &runner.Sink{}
+		rep, err := Run("fig13", opt)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		return buf.String(), opt.Sink
+	}
+	seq, _ := render(1)
+	par, sink := render(8)
+	if seq != par {
+		t.Errorf("fig13 output differs between 1 and 8 workers:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	sums := sink.Summaries()
+	if len(sums) != 1 || sums[0].Name != "fig13" || sums[0].Jobs != 3 || sums[0].Failed != 0 {
+		t.Fatalf("sink summaries = %+v", sums)
+	}
+	for _, r := range sums[0].Results {
+		if r.Metrics == nil || r.Metrics.Placements == 0 {
+			t.Errorf("job %s: missing metrics", r.Name)
+		}
 	}
 }
 

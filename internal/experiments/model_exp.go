@@ -137,21 +137,36 @@ func runFig9(opt Options) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every quantile sweeps the whole test set through the model; the
+	// sweeps are independent, so they shard across the worker pool.
+	const nQ = 20
+	f1s := make([]float64, nQ)
+	tasks := make([]func() error, nQ)
+	for q := 0; q < nQ; q++ {
+		q := q
+		tasks[q] = func() error {
+			var predicted, actual []time.Duration
+			for _, rec := range test {
+				uptime := time.Duration(float64(q) / nQ * float64(rec.Lifetime))
+				predTotal := uptime + g.PredictRemaining(vmOf(rec), uptime)
+				predicted = append(predicted, predTotal)
+				actual = append(actual, rec.Lifetime)
+			}
+			b, err := eval.Classify(predicted, actual, eval.LongThreshold)
+			if err != nil {
+				return err
+			}
+			f1s[q] = b.F1()
+			return nil
+		}
+	}
+	if err := parDo(opt, tasks...); err != nil {
+		return nil, err
+	}
 	rep := &Fig9Report{}
-	for q := 0; q < 20; q++ {
-		var predicted, actual []time.Duration
-		for _, rec := range test {
-			uptime := time.Duration(float64(q) / 20 * float64(rec.Lifetime))
-			predTotal := uptime + g.PredictRemaining(vmOf(rec), uptime)
-			predicted = append(predicted, predTotal)
-			actual = append(actual, rec.Lifetime)
-		}
-		b, err := eval.Classify(predicted, actual, eval.LongThreshold)
-		if err != nil {
-			return nil, err
-		}
+	for q := 0; q < nQ; q++ {
 		rep.Quantiles = append(rep.Quantiles, q)
-		rep.F1 = append(rep.F1, b.F1())
+		rep.F1 = append(rep.F1, f1s[q])
 	}
 	return rep, nil
 }
@@ -208,39 +223,54 @@ func runFig10(opt Options) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Fig10Report{}
-	for _, wk := range []int{0, 1, 2, 4, 6, 8} {
-		tr, err := workload.Generate(workload.PoolSpec{
-			Name: fmt.Sprintf("drift-%d", wk), Zone: "eval-zone",
-			Hosts: scaleInt(64, opt.Scale, 16), TargetUtil: 0.65,
-			Duration: scaleDur(2*simtime.Week, opt.Scale, 4*simtime.Day),
-			Seed:     opt.Seed + 31*int64(wk) + 5, Mix: driftedMix(wk),
-		})
-		if err != nil {
-			return nil, err
-		}
-		var predicted, actual []time.Duration
-		for _, rec := range tr.Records {
-			predicted = append(predicted, g.PredictRemaining(vmOf(rec), 0))
-			actual = append(actual, rec.Lifetime)
-		}
-		// Best F1 over score thresholds (the paper tunes an operating
-		// point on the model score rather than comparing raw predictions
-		// to the capped 168h boundary).
-		curve, err := eval.PRCurve(predicted, actual)
-		if err != nil {
-			return nil, err
-		}
-		best := 0.0
-		for _, pt := range curve {
-			if pt.Precision+pt.Recall > 0 {
-				if f1 := 2 * pt.Precision * pt.Recall / (pt.Precision + pt.Recall); f1 > best {
-					best = f1
+	// Each drifted week is an independent generate-predict-evaluate
+	// pipeline; run them all concurrently.
+	weeks := []int{0, 1, 2, 4, 6, 8}
+	f1s := make([]float64, len(weeks))
+	tasks := make([]func() error, len(weeks))
+	for i, wk := range weeks {
+		i, wk := i, wk
+		tasks[i] = func() error {
+			tr, err := workload.Generate(workload.PoolSpec{
+				Name: fmt.Sprintf("drift-%d", wk), Zone: "eval-zone",
+				Hosts: scaleInt(64, opt.Scale, 16), TargetUtil: 0.65,
+				Duration: scaleDur(2*simtime.Week, opt.Scale, 4*simtime.Day),
+				Seed:     opt.Seed + 31*int64(wk) + 5, Mix: driftedMix(wk),
+			})
+			if err != nil {
+				return err
+			}
+			var predicted, actual []time.Duration
+			for _, rec := range tr.Records {
+				predicted = append(predicted, g.PredictRemaining(vmOf(rec), 0))
+				actual = append(actual, rec.Lifetime)
+			}
+			// Best F1 over score thresholds (the paper tunes an operating
+			// point on the model score rather than comparing raw predictions
+			// to the capped 168h boundary).
+			curve, err := eval.PRCurve(predicted, actual)
+			if err != nil {
+				return err
+			}
+			best := 0.0
+			for _, pt := range curve {
+				if pt.Precision+pt.Recall > 0 {
+					if f1 := 2 * pt.Precision * pt.Recall / (pt.Precision + pt.Recall); f1 > best {
+						best = f1
+					}
 				}
 			}
+			f1s[i] = best
+			return nil
 		}
+	}
+	if err := parDo(opt, tasks...); err != nil {
+		return nil, err
+	}
+	rep := &Fig10Report{}
+	for i, wk := range weeks {
 		rep.WeeksAfter = append(rep.WeeksAfter, wk)
-		rep.F1 = append(rep.F1, best)
+		rep.F1 = append(rep.F1, f1s[i])
 	}
 	return rep, nil
 }
@@ -406,36 +436,40 @@ func runTable4(opt Options) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	preds := []model.Predictor{}
-
-	g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(400, opt.Scale, 120)})
+	// The four model families train on the same (read-only) record set and
+	// are independent of each other; train them concurrently.
+	preds := make([]model.Predictor, 4)
+	err = parDo(opt,
+		func() error {
+			g, err := model.TrainGBDT(train, gbdt.Params{Trees: scaleInt(400, opt.Scale, 120)})
+			preds[0] = g
+			return err
+		},
+		func() error {
+			m, err := model.TrainMLP(train, mlp.Params{Epochs: scaleInt(30, opt.Scale, 10), Seed: opt.Seed})
+			preds[1] = m
+			return err
+		},
+		func() error {
+			k, err := model.TrainKM(train, nil)
+			preds[2] = k
+			return err
+		},
+		func() error {
+			// Cox is O(n^2)-ish in our implementation; subsample training
+			// data.
+			coxTrain := train
+			if len(coxTrain) > 4000 {
+				coxTrain = coxTrain[:4000]
+			}
+			c, err := model.TrainCox(coxTrain, cox.Options{})
+			preds[3] = c
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
-	preds = append(preds, g)
-
-	m, err := model.TrainMLP(train, mlp.Params{Epochs: scaleInt(30, opt.Scale, 10), Seed: opt.Seed})
-	if err != nil {
-		return nil, err
-	}
-	preds = append(preds, m)
-
-	k, err := model.TrainKM(train, nil)
-	if err != nil {
-		return nil, err
-	}
-	preds = append(preds, k)
-
-	// Cox is O(n^2)-ish in our implementation; subsample training data.
-	coxTrain := train
-	if len(coxTrain) > 4000 {
-		coxTrain = coxTrain[:4000]
-	}
-	c, err := model.TrainCox(coxTrain, cox.Options{})
-	if err != nil {
-		return nil, err
-	}
-	preds = append(preds, c)
 
 	rep := &Table4Report{}
 	evalSet := test

@@ -10,6 +10,7 @@ import (
 	"lava/internal/defrag"
 	"lava/internal/metrics"
 	"lava/internal/model"
+	"lava/internal/runner"
 	"lava/internal/scheduler"
 	"lava/internal/sim"
 	"lava/internal/simtime"
@@ -100,32 +101,58 @@ func runTable1(opt Options) (Report, error) {
 
 	// Three A/B pilots on different pools. Pilot pools are generated at
 	// twice the study size so each A/B half remains a realistically sized
-	// pool (§5.2: production A/B splits run at production scale).
-	for i := 0; i < 3; i++ {
-		tr, err := workload.Generate(workload.PoolSpec{
-			Name:       fmt.Sprintf("pilot-%d", i+1),
-			Zone:       "pilot-zone",
-			Hosts:      scaleInt(320, opt.Scale, 64),
-			TargetUtil: []float64{0.6, 0.65, 0.7}[i],
-			Duration:   scaleDur(7*simtime.Week, opt.Scale, 4*simtime.Day),
-			Prefill:    scaleDur(3*simtime.Week, opt.Scale, 8*simtime.Day),
-			Seed:       opt.Seed + int64(1000*(10+i)),
-			Diurnal:    0.3,
-		})
-		if err != nil {
-			return nil, err
+	// pool (§5.2: production A/B splits run at production scale). Stage 1
+	// generates and splits the pilot traces concurrently.
+	const nPilots = 3
+	type pilot struct {
+		tr     *trace.Trace
+		ta, tb *trace.Trace
+	}
+	pilots := make([]pilot, nPilots)
+	gen := make([]func() error, nPilots)
+	for i := range pilots {
+		i := i
+		gen[i] = func() error {
+			tr, err := workload.Generate(workload.PoolSpec{
+				Name:       fmt.Sprintf("pilot-%d", i+1),
+				Zone:       "pilot-zone",
+				Hosts:      scaleInt(320, opt.Scale, 64),
+				TargetUtil: []float64{0.6, 0.65, 0.7}[i],
+				Duration:   scaleDur(7*simtime.Week, opt.Scale, 4*simtime.Day),
+				Prefill:    scaleDur(3*simtime.Week, opt.Scale, 8*simtime.Day),
+				Seed:       opt.Seed + int64(1000*(10+i)),
+				Diurnal:    0.3,
+			})
+			if err != nil {
+				return err
+			}
+			pilots[i].tr = tr
+			pilots[i].ta, pilots[i].tb = abSplit(tr)
+			return nil
 		}
-		ta, tb := abSplit(tr)
-		ctl, err := runPolicy(ta, scheduler.NewWasteMin())
-		if err != nil {
-			return nil, err
-		}
-		trt, err := runPolicy(tb, scheduler.NewNILAS(pred, time.Minute))
-		if err != nil {
-			return nil, err
-		}
-		ctlVals := ctl.Series.After(tr.WarmUp).Values(metrics.EmptyHostFrac)
-		trtVals := trt.Series.After(tr.WarmUp).Values(metrics.EmptyHostFrac)
+	}
+	if err := parDo(opt, gen...); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: both arms of every pilot run concurrently.
+	var jobs []runner.Job
+	for i, p := range pilots {
+		seed := opt.Seed + int64(1000*(10+i))
+		jobs = append(jobs,
+			simJob(fmt.Sprintf("pilot-%d/ctl", i+1), seed, p.ta,
+				func() scheduler.Policy { return scheduler.NewWasteMin() }),
+			simJob(fmt.Sprintf("pilot-%d/trt", i+1), seed, p.tb,
+				func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) }),
+		)
+	}
+	res, err := batch(opt, "table1", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pilots {
+		ctlVals := res[fmt.Sprintf("pilot-%d/ctl", i+1)].Series.After(p.tr.WarmUp).Values(metrics.EmptyHostFrac)
+		trtVals := res[fmt.Sprintf("pilot-%d/trt", i+1)].Series.After(p.tr.WarmUp).Values(metrics.EmptyHostFrac)
 		tt, err := stats.WelchTTest(trtVals, ctlVals)
 		if err != nil {
 			return nil, err
@@ -139,24 +166,35 @@ func runTable1(opt Options) (Report, error) {
 	}
 
 	// Whole-pool pilots (wave-3 C2 and an E2 pool): switch the policy
-	// mid-run and apply the causal analysis.
-	for _, pool := range []struct {
+	// mid-run and apply the causal analysis. Each pilot is an independent
+	// generate-simulate-analyze pipeline; run both concurrently.
+	wholePools := []struct {
 		name string
 		mix  []workload.TypeSpec
 	}{
 		{"wave3-c2", nil},
 		{"e2-pool", workload.E2Mix()},
-	} {
-		res, err := wholePoolPilot(opt, pred, pool.name, pool.mix)
-		if err != nil {
-			return nil, err
+	}
+	caResults := make([]*causal.Result, len(wholePools))
+	tasks := make([]func() error, len(wholePools))
+	for i, pool := range wholePools {
+		i, pool := i, pool
+		tasks[i] = func() error {
+			res, err := wholePoolPilot(opt, pred, pool.name, pool.mix)
+			caResults[i] = res
+			return err
 		}
+	}
+	if err := parDo(opt, tasks...); err != nil {
+		return nil, err
+	}
+	for i, pool := range wholePools {
 		rep.Rows = append(rep.Rows, Table1Row{
 			Pool:    pool.name,
 			Kind:    "whole-pool",
-			DeltaPP: 100 * res.AvgEffect,
-			CILo:    100 * res.CI[0],
-			CIHi:    100 * res.CI[1],
+			DeltaPP: 100 * caResults[i].AvgEffect,
+			CILo:    100 * caResults[i].CI[0],
+			CIHi:    100 * caResults[i].CI[1],
 		})
 	}
 	return rep, nil
@@ -242,11 +280,15 @@ func runFig7(opt Options) (Report, error) {
 		return nil, err
 	}
 	switchAt := prefill + steady/2
-	pol := scheduler.NewSwitched(scheduler.NewWasteMin(), scheduler.NewNILAS(pred, time.Minute), switchAt)
-	res, err := sim.Run(sim.Config{Trace: tr, Policy: pol})
+	resM, err := batch(opt, "fig7", []runner.Job{
+		simJob("rollout", opt.Seed+4242, tr, func() scheduler.Policy {
+			return scheduler.NewSwitched(scheduler.NewWasteMin(), scheduler.NewNILAS(pred, time.Minute), switchAt)
+		}),
+	})
 	if err != nil {
 		return nil, err
 	}
+	res := resM["rollout"]
 	series := res.Series.After(tr.WarmUp)
 	vals := series.Values(metrics.EmptyHostFrac)
 	preEnd := 0
@@ -302,50 +344,60 @@ func (r *Table2Report) Render(w io.Writer) {
 }
 
 func runTable2(opt Options) (Report, error) {
-	rep := &Table2Report{}
-	for i := 0; i < 2; i++ {
-		tr, err := workload.Generate(workload.PoolSpec{
-			Name: fmt.Sprintf("defrag-%d", i+1), Zone: "defrag-zone",
-			Hosts: scaleInt(96, opt.Scale, 24), TargetUtil: 0.6,
-			Duration: scaleDur(4*simtime.Week, opt.Scale, 6*simtime.Day),
-			Prefill:  scaleDur(2*simtime.Week, opt.Scale, 8*simtime.Day),
-			Seed:     opt.Seed + int64(9000+i), Diurnal: 0.3,
-		})
-		if err != nil {
-			return nil, err
+	rep := &Table2Report{Rows: make([]Table2Row, 2)}
+	// Each trace is an independent generate-record-replay pipeline; the
+	// runner executes both concurrently.
+	tasks := make([]func() error, len(rep.Rows))
+	for i := range rep.Rows {
+		i := i
+		tasks[i] = func() error {
+			tr, err := workload.Generate(workload.PoolSpec{
+				Name: fmt.Sprintf("defrag-%d", i+1), Zone: "defrag-zone",
+				Hosts: scaleInt(96, opt.Scale, 24), TargetUtil: 0.6,
+				Duration: scaleDur(4*simtime.Week, opt.Scale, 6*simtime.Day),
+				Prefill:  scaleDur(2*simtime.Week, opt.Scale, 8*simtime.Day),
+				Seed:     opt.Seed + int64(9000+i), Diurnal: 0.3,
+			})
+			if err != nil {
+				return err
+			}
+			// Record the migration plan from one live run (the plan — which
+			// hosts drain, when, with which VMs — is what the paper collects
+			// from production traces)...
+			eng := defrag.New(defrag.Config{
+				Strategy: defrag.OrderTrace,
+				Policy:   scheduler.NewWasteMin(),
+				Pred:     model.Oracle{}, // §6.3 uses oracle lifetimes
+				// Near-continuous defragmentation: the paper's Table 2 traces
+				// migrate a large fraction of scheduled VMs, i.e. the
+				// migration queue is persistently contended.
+				Threshold: 0.95, HostsPerRound: 12, CheckEvery: time.Hour,
+			})
+			res, err := sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewWasteMin(), Components: []sim.Component{eng}})
+			if err != nil {
+				return err
+			}
+			// ...then replay the identical plan through the slot-constrained
+			// queue under both orderings (§5.1): only the order differs. The
+			// baseline uses a lifetime-agnostic (shuffled) order, matching the
+			// paper's production migration lists; our creation order is already
+			// nearly lifetime-sorted (old VMs are long-lived) and would be an
+			// unrealistically strong baseline (see EXPERIMENTS.md).
+			base := defrag.ReplayPlan(eng.Plan, defrag.OrderShuffled, 3, 20*time.Minute)
+			lars := defrag.ReplayPlan(eng.Plan, defrag.OrderLARS, 3, 20*time.Minute)
+			row := Table2Row{
+				Trace: fmt.Sprintf("%d", i+1), Scheduled: res.Placements,
+				Baseline: base.Performed, LARS: lars.Performed,
+			}
+			if base.Performed > 0 {
+				row.Reduction = 1 - float64(lars.Performed)/float64(base.Performed)
+			}
+			rep.Rows[i] = row
+			return nil
 		}
-		// Record the migration plan from one live run (the plan — which
-		// hosts drain, when, with which VMs — is what the paper collects
-		// from production traces)...
-		eng := defrag.New(defrag.Config{
-			Strategy: defrag.OrderTrace,
-			Policy:   scheduler.NewWasteMin(),
-			Pred:     model.Oracle{}, // §6.3 uses oracle lifetimes
-			// Near-continuous defragmentation: the paper's Table 2 traces
-			// migrate a large fraction of scheduled VMs, i.e. the
-			// migration queue is persistently contended.
-			Threshold: 0.95, HostsPerRound: 12, CheckEvery: time.Hour,
-		})
-		res, err := sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewWasteMin(), Components: []sim.Component{eng}})
-		if err != nil {
-			return nil, err
-		}
-		// ...then replay the identical plan through the slot-constrained
-		// queue under both orderings (§5.1): only the order differs. The
-		// baseline uses a lifetime-agnostic (shuffled) order, matching the
-		// paper's production migration lists; our creation order is already
-		// nearly lifetime-sorted (old VMs are long-lived) and would be an
-		// unrealistically strong baseline (see EXPERIMENTS.md).
-		base := defrag.ReplayPlan(eng.Plan, defrag.OrderShuffled, 3, 20*time.Minute)
-		lars := defrag.ReplayPlan(eng.Plan, defrag.OrderLARS, 3, 20*time.Minute)
-		row := Table2Row{
-			Trace: fmt.Sprintf("%d", i+1), Scheduled: res.Placements,
-			Baseline: base.Performed, LARS: lars.Performed,
-		}
-		if base.Performed > 0 {
-			row.Reduction = 1 - float64(lars.Performed)/float64(base.Performed)
-		}
-		rep.Rows = append(rep.Rows, row)
+	}
+	if err := parDo(opt, tasks...); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -376,25 +428,42 @@ func runFig14(opt Options) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := runPolicy(tr, scheduler.NewWasteMin())
+	resM, err := batch(opt, "fig14", []runner.Job{
+		simJob("replay", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewWasteMin() }),
+	})
 	if err != nil {
 		return nil, err
 	}
+	res := resM["replay"]
 	totalCPU := float64(tr.HostCPU) * float64(tr.Hosts)
 
 	// Ground truth: direct integration of trace demand at each sample time,
 	// counting only VMs the simulator also admitted (capacity failures are
-	// simulator artifacts we must not penalize twice).
-	var gaps []float64
-	for _, s := range res.Series.After(tr.WarmUp).Samples {
-		var demand float64
-		for _, rec := range tr.Records {
-			if rec.Arrival <= s.Time && rec.Exit() > s.Time {
-				demand += float64(rec.Shape.CPUMilli)
+	// simulator artifacts we must not penalize twice). The integration is
+	// O(samples x records) — by far the heaviest part of the experiment —
+	// and every sample is independent, so it shards across the worker pool.
+	samples := res.Series.After(tr.WarmUp).Samples
+	gaps := make([]float64, len(samples))
+	workers := runner.Workers(opt.Parallel)
+	shards := make([]func() error, 0, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		shards = append(shards, func() error {
+			for si := w; si < len(samples); si += workers {
+				s := samples[si]
+				var demand float64
+				for _, rec := range tr.Records {
+					if rec.Arrival <= s.Time && rec.Exit() > s.Time {
+						demand += float64(rec.Shape.CPUMilli)
+					}
+				}
+				gaps[si] = math.Abs(s.CPUUtil - demand/totalCPU)
 			}
-		}
-		want := demand / totalCPU
-		gaps = append(gaps, math.Abs(s.CPUUtil-want))
+			return nil
+		})
+	}
+	if err := parDo(opt, shards...); err != nil {
+		return nil, err
 	}
 	rep := &Fig14Report{Samples: len(gaps)}
 	rep.MeanAbsGap = stats.Mean(gaps)

@@ -7,8 +7,8 @@ import (
 
 	"lava/internal/cluster"
 	"lava/internal/model"
+	"lava/internal/runner"
 	"lava/internal/scheduler"
-	"lava/internal/sim"
 	"lava/internal/trace"
 )
 
@@ -18,11 +18,6 @@ func init() {
 	register("fig15", runFig15)
 	register("fig16", runFig16)
 	register("fig17", runFig17)
-}
-
-// runPolicy executes one trace under one policy and returns the result.
-func runPolicy(tr *trace.Trace, p scheduler.Policy) (*sim.Result, error) {
-	return sim.Run(sim.Config{Trace: tr, Policy: p})
 }
 
 // --- Fig. 6: the headline study ------------------------------------------------
@@ -63,6 +58,24 @@ func (r *Fig6Report) Render(w io.Writer) {
 	fmt.Fprintln(w, "       oracle NILAS +9.5 pp vs oracle LA +7.5 pp")
 }
 
+// policyArm names one policy construction in a study matrix.
+type policyArm struct {
+	name string
+	mk   func() scheduler.Policy
+}
+
+// fig6Policies are the per-pool simulation arms of the headline study.
+func fig6Policies(pred model.Predictor) []policyArm {
+	return []policyArm{
+		{"base", func() scheduler.Policy { return scheduler.NewWasteMin() }},
+		{"la", func() scheduler.Policy { return scheduler.NewLABinary(pred) }},
+		{"nilas", func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) }},
+		{"lava", func() scheduler.Policy { return scheduler.NewLAVA(pred, time.Minute) }},
+		{"laO", func() scheduler.Policy { return scheduler.NewLABinary(model.Oracle{}) }},
+		{"nilasO", func() scheduler.Policy { return scheduler.NewNILAS(model.Oracle{}, time.Minute) }},
+	}
+}
+
 func runFig6(opt Options) (Report, error) {
 	pred, err := trainedModel(opt)
 	if err != nil {
@@ -70,44 +83,48 @@ func runFig6(opt Options) (Report, error) {
 	}
 	nPools := scaleInt(24, opt.Scale, 4)
 	utils := []float64{0.55, 0.65, 0.75}
+
+	// Stage 1: generate the pool traces concurrently (each is seeded by its
+	// pool index, so generation order is irrelevant).
+	traces := make([]*trace.Trace, nPools)
+	gen := make([]func() error, nPools)
+	for i := range traces {
+		i := i
+		gen[i] = func() error {
+			tr, err := studyTrace(opt, i, utils[i%len(utils)])
+			traces[i] = tr
+			return err
+		}
+	}
+	if err := parDo(opt, gen...); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: fan the full pool x policy matrix out across the runner.
+	arms := fig6Policies(pred)
+	var jobs []runner.Job
+	for i, tr := range traces {
+		for _, arm := range arms {
+			jobs = append(jobs, simJob(tr.PoolName+"/"+arm.name, opt.Seed+int64(1000*i), tr, arm.mk))
+		}
+	}
+	res, err := batch(opt, "fig6", jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Fig6Report{}
-	for i := 0; i < nPools; i++ {
-		tr, err := studyTrace(opt, i, utils[i%len(utils)])
-		if err != nil {
-			return nil, err
-		}
-		base, err := runPolicy(tr, scheduler.NewWasteMin())
-		if err != nil {
-			return nil, err
-		}
-		la, err := runPolicy(tr, scheduler.NewLABinary(pred))
-		if err != nil {
-			return nil, err
-		}
-		nilas, err := runPolicy(tr, scheduler.NewNILAS(pred, time.Minute))
-		if err != nil {
-			return nil, err
-		}
-		lava, err := runPolicy(tr, scheduler.NewLAVA(pred, time.Minute))
-		if err != nil {
-			return nil, err
-		}
-		laO, err := runPolicy(tr, scheduler.NewLABinary(model.Oracle{}))
-		if err != nil {
-			return nil, err
-		}
-		nilasO, err := runPolicy(tr, scheduler.NewNILAS(model.Oracle{}, time.Minute))
-		if err != nil {
-			return nil, err
-		}
+	for _, tr := range traces {
+		get := func(arm string) float64 { return res[tr.PoolName+"/"+arm].AvgEmptyHostFrac }
+		base := get("base")
 		p := Fig6Pool{
 			Pool:        tr.PoolName,
-			Baseline:    base.AvgEmptyHostFrac,
-			LABinary:    la.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
-			NILAS:       nilas.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
-			LAVA:        lava.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
-			LAOracle:    laO.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
-			NILASOracle: nilasO.AvgEmptyHostFrac - base.AvgEmptyHostFrac,
+			Baseline:    base,
+			LABinary:    get("la") - base,
+			NILAS:       get("nilas") - base,
+			LAVA:        get("lava") - base,
+			LAOracle:    get("laO") - base,
+			NILASOracle: get("nilasO") - base,
 		}
 		rep.Pools = append(rep.Pools, p)
 		rep.AvgLABinary += p.LABinary
@@ -158,26 +175,22 @@ func runFig13(opt Options) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	la, err := runPolicy(tr, scheduler.NewLABinary(pred))
+	res, err := batch(opt, "fig13", []runner.Job{
+		simJob("la", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewLABinary(pred) }),
+		simJob("nilas", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) }),
+		simJob("lava", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewLAVA(pred, time.Minute) }),
+	})
 	if err != nil {
 		return nil, err
 	}
+	la := res["la"]
 	rep := &Fig13Report{}
-	for _, pc := range []struct {
-		name string
-		p    scheduler.Policy
-	}{
-		{"nilas", scheduler.NewNILAS(pred, time.Minute)},
-		{"lava", scheduler.NewLAVA(pred, time.Minute)},
-	} {
-		res, err := runPolicy(tr, pc.p)
-		if err != nil {
-			return nil, err
-		}
-		rep.Policies = append(rep.Policies, pc.name)
-		rep.EmptyHosts = append(rep.EmptyHosts, res.AvgEmptyHostFrac-la.AvgEmptyHostFrac)
-		rep.EmptyToFree = append(rep.EmptyToFree, res.AvgEmptyToFree-la.AvgEmptyToFree)
-		rep.PackingDensity = append(rep.PackingDensity, res.AvgPackingDensity-la.AvgPackingDensity)
+	for _, name := range []string{"nilas", "lava"} {
+		r := res[name]
+		rep.Policies = append(rep.Policies, name)
+		rep.EmptyHosts = append(rep.EmptyHosts, r.AvgEmptyHostFrac-la.AvgEmptyHostFrac)
+		rep.EmptyToFree = append(rep.EmptyToFree, r.AvgEmptyToFree-la.AvgEmptyToFree)
+		rep.PackingDensity = append(rep.PackingDensity, r.AvgPackingDensity-la.AvgPackingDensity)
 	}
 	return rep, nil
 }
@@ -209,24 +222,27 @@ func runFig15(opt Options) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := runPolicy(tr, scheduler.NewWasteMin())
+	accs := []float64{0.5, 0.7, 0.9, 1.0}
+	jobs := []runner.Job{
+		simJob("base", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewWasteMin() }),
+	}
+	for _, acc := range accs {
+		noisy := &model.NoisyOracle{Accuracy: acc, Seed: opt.Seed}
+		jobs = append(jobs,
+			simJob(fmt.Sprintf("nilas@%.2f", acc), opt.Seed, tr, func() scheduler.Policy { return scheduler.NewNILAS(noisy, time.Minute) }),
+			simJob(fmt.Sprintf("lava@%.2f", acc), opt.Seed, tr, func() scheduler.Policy { return scheduler.NewLAVA(noisy, time.Minute) }),
+		)
+	}
+	res, err := batch(opt, "fig15", jobs)
 	if err != nil {
 		return nil, err
 	}
+	base := res["base"]
 	rep := &Fig15Report{}
-	for _, acc := range []float64{0.5, 0.7, 0.9, 1.0} {
-		noisy := &model.NoisyOracle{Accuracy: acc, Seed: opt.Seed}
-		n, err := runPolicy(tr, scheduler.NewNILAS(noisy, time.Minute))
-		if err != nil {
-			return nil, err
-		}
-		l, err := runPolicy(tr, scheduler.NewLAVA(noisy, time.Minute))
-		if err != nil {
-			return nil, err
-		}
+	for _, acc := range accs {
 		rep.Accuracies = append(rep.Accuracies, acc)
-		rep.NILAS = append(rep.NILAS, n.AvgEmptyHostFrac-base.AvgEmptyHostFrac)
-		rep.LAVA = append(rep.LAVA, l.AvgEmptyHostFrac-base.AvgEmptyHostFrac)
+		rep.NILAS = append(rep.NILAS, res[fmt.Sprintf("nilas@%.2f", acc)].AvgEmptyHostFrac-base.AvgEmptyHostFrac)
+		rep.LAVA = append(rep.LAVA, res[fmt.Sprintf("lava@%.2f", acc)].AvgEmptyHostFrac-base.AvgEmptyHostFrac)
 	}
 	return rep, nil
 }
@@ -281,6 +297,28 @@ func runFig16(opt Options) (Report, error) {
 		return nil, err
 	}
 
+	// Warm start: the prefill window is placed by the lifetime-unaware
+	// baseline; NILAS takes over at the measurement boundary, inheriting
+	// residual placements (the production rollout situation, Appendix F).
+	warmStart := func(mk func() scheduler.Policy) func() scheduler.Policy {
+		return func() scheduler.Policy {
+			return scheduler.NewSwitched(scheduler.NewWasteMin(), mk(), tr.WarmUp)
+		}
+	}
+	res, err := batch(opt, "fig16", []runner.Job{
+		simJob("base", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewWasteMin() }),
+		// Ideal: oracle predictions with NILAS active from the first VM of
+		// the trace (cold start — no residue of lifetime-unaware
+		// placements).
+		simJob("cold", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewNILAS(model.Oracle{}, time.Minute) }),
+		simJob("warmO", opt.Seed, tr, warmStart(func() scheduler.Policy { return scheduler.NewNILAS(model.Oracle{}, time.Minute) })),
+		simJob("warmM", opt.Seed, tr, warmStart(func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) })),
+		simJob("frozen", opt.Seed, tr, warmStart(func() scheduler.Policy { return scheduler.NewNILAS(frozenPredictor{inner: pred}, time.Minute) })),
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Fig16Report{}
 	add := func(name string, v float64) {
 		rep.Rows = append(rep.Rows, name)
@@ -290,10 +328,7 @@ func runFig16(opt Options) (Report, error) {
 	// Theoretical optimum: all load packed with zero waste; empty hosts =
 	// unused capacity (the lower of CPU/memory headroom), averaged over the
 	// steady window.
-	optRes, err := runPolicy(tr, scheduler.NewWasteMin())
-	if err != nil {
-		return nil, err
-	}
+	optRes := res["base"]
 	steady := optRes.Series.After(tr.WarmUp)
 	var optEmpty float64
 	for _, s := range steady.Samples {
@@ -307,40 +342,10 @@ func runFig16(opt Options) (Report, error) {
 		optEmpty /= float64(steady.Len())
 	}
 	add("theoretical optimum", optEmpty)
-
-	// Ideal: oracle predictions with NILAS active from the first VM of the
-	// trace (cold start — no residue of lifetime-unaware placements).
-	ideal, err := runPolicy(tr, scheduler.NewNILAS(model.Oracle{}, time.Minute))
-	if err != nil {
-		return nil, err
-	}
-	add("NILAS oracle, cold start", ideal.AvgEmptyHostFrac)
-
-	// Warm start: the prefill window is placed by the lifetime-unaware
-	// baseline; NILAS takes over at the measurement boundary, inheriting
-	// residual placements (the production rollout situation, Appendix F).
-	warmStart := func(p scheduler.Policy) (*sim.Result, error) {
-		return sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewSwitched(
-			scheduler.NewWasteMin(), p, tr.WarmUp)})
-	}
-	nilasO, err := warmStart(scheduler.NewNILAS(model.Oracle{}, time.Minute))
-	if err != nil {
-		return nil, err
-	}
-	add("NILAS oracle, warm start", nilasO.AvgEmptyHostFrac)
-
-	nilasM, err := warmStart(scheduler.NewNILAS(pred, time.Minute))
-	if err != nil {
-		return nil, err
-	}
-	add("NILAS model, warm start", nilasM.AvgEmptyHostFrac)
-
-	frozen, err := warmStart(scheduler.NewNILAS(frozenPredictor{inner: pred}, time.Minute))
-	if err != nil {
-		return nil, err
-	}
-	add("NILAS model, no repredictions", frozen.AvgEmptyHostFrac)
-
+	add("NILAS oracle, cold start", res["cold"].AvgEmptyHostFrac)
+	add("NILAS oracle, warm start", res["warmO"].AvgEmptyHostFrac)
+	add("NILAS model, warm start", res["warmM"].AvgEmptyHostFrac)
+	add("NILAS model, no repredictions", res["frozen"].AvgEmptyHostFrac)
 	add("baseline (waste-min)", optRes.AvgEmptyHostFrac)
 	return rep, nil
 }
@@ -380,15 +385,23 @@ func runFig17(opt Options) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	ivs := []time.Duration{0, time.Minute, 15 * time.Minute}
+	var jobs []runner.Job
+	for _, iv := range ivs {
+		iv := iv
+		jobs = append(jobs, simJob(iv.String(), opt.Seed, tr,
+			func() scheduler.Policy { return scheduler.NewNILAS(pred, iv) }))
+	}
+	res, err := batch(opt, "fig17", jobs)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Fig17Report{}
-	for _, iv := range []time.Duration{0, time.Minute, 15 * time.Minute} {
-		res, err := runPolicy(tr, scheduler.NewNILAS(pred, iv))
-		if err != nil {
-			return nil, err
-		}
+	for _, iv := range ivs {
+		r := res[iv.String()]
 		rep.Intervals = append(rep.Intervals, iv)
-		rep.Empty = append(rep.Empty, res.AvgEmptyHostFrac)
-		rep.ModelCalls = append(rep.ModelCalls, res.ModelCalls)
+		rep.Empty = append(rep.Empty, r.AvgEmptyHostFrac)
+		rep.ModelCalls = append(rep.ModelCalls, r.ModelCalls)
 	}
 	return rep, nil
 }

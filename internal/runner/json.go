@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Summary is the machine-readable record of one executed batch. A sequence
+// of summaries (one per experiment) forms the BENCH_*.json trajectory
+// document that CI archives, so packing-quality and throughput regressions
+// can be diffed across commits.
+type Summary struct {
+	Name       string      `json:"name"`
+	Workers    int         `json:"workers"`
+	Jobs       int         `json:"jobs"`
+	Failed     int         `json:"failed"`
+	ElapsedSec float64     `json:"elapsed_sec"`
+	Results    []JobResult `json:"results"`
+}
+
+// Summarize rolls completed job results into a Summary. elapsedSec is the
+// batch wall clock (which is less than the sum of job times when workers
+// overlap).
+func Summarize(name string, workers int, elapsedSec float64, results []JobResult) Summary {
+	s := Summary{Name: name, Workers: workers, Jobs: len(results), ElapsedSec: elapsedSec, Results: results}
+	for i := range results {
+		if results[i].Error != "" {
+			s.Failed++
+		}
+	}
+	return s
+}
+
+// Sink is a thread-safe collector of batch summaries. Experiments append
+// to the sink their Options carry; the CLI writes the collected document
+// with WriteJSON when -json is set.
+type Sink struct {
+	mu        sync.Mutex
+	summaries []Summary
+}
+
+// Add appends a summary.
+func (s *Sink) Add(sum Summary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.summaries = append(s.summaries, sum)
+}
+
+// Summaries returns the collected summaries in insertion order.
+func (s *Sink) Summaries() []Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Summary, len(s.summaries))
+	copy(out, s.summaries)
+	return out
+}
+
+// Document is the top-level JSON output of a run: the configuration that
+// produced it plus every batch executed under it.
+type Document struct {
+	Scale      float64   `json:"scale,omitempty"`
+	Seed       int64     `json:"seed,omitempty"`
+	Parallel   int       `json:"parallel,omitempty"`
+	ElapsedSec float64   `json:"elapsed_sec,omitempty"`
+	Batches    []Summary `json:"batches"`
+}
+
+// WriteJSON writes the document, indented for diff-friendliness.
+func WriteJSON(w io.Writer, doc Document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,239 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+// testTrace generates a small deterministic trace.
+func testTrace(t *testing.T, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: fmt.Sprintf("run-%d", seed), Zone: "z1", Hosts: 24, TargetUtil: 0.6,
+		Duration: 2 * simtime.Day, Prefill: 6 * simtime.Day, Seed: seed, Diurnal: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// simJobs builds a batch of self-contained sim jobs over shared read-only
+// traces; each job constructs its own policy.
+func simJobs(traces []*trace.Trace) []Job {
+	jobs := make([]Job, 0, len(traces)*2)
+	for i, tr := range traces {
+		tr := tr
+		jobs = append(jobs,
+			Job{
+				Name: fmt.Sprintf("%s/wastemin", tr.PoolName), Seed: int64(i),
+				Run: func() (*sim.Result, error) {
+					return sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewWasteMin()})
+				},
+			},
+			Job{
+				Name: fmt.Sprintf("%s/bestfit", tr.PoolName), Seed: int64(i),
+				Run: func() (*sim.Result, error) {
+					return sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewBestFit()})
+				},
+			})
+	}
+	return jobs
+}
+
+// TestParallelMatchesSequential is the determinism contract: the same jobs
+// run with one worker and with eight workers must produce identical result
+// aggregates, job for job.
+func TestParallelMatchesSequential(t *testing.T) {
+	traces := []*trace.Trace{testTrace(t, 1), testTrace(t, 2), testTrace(t, 3)}
+
+	seq, err := (&Batch{Parallel: 1}).Run(context.Background(), simJobs(traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&Batch{Parallel: 8}).Run(context.Background(), simJobs(traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Name != par[i].Name {
+			t.Fatalf("result order differs at %d: %q vs %q", i, seq[i].Name, par[i].Name)
+		}
+		a, b := seq[i].Metrics, par[i].Metrics
+		if a == nil || b == nil {
+			t.Fatalf("%s: missing metrics", seq[i].Name)
+		}
+		if *a != *b {
+			t.Errorf("%s: aggregates differ:\nseq: %+v\npar: %+v", seq[i].Name, *a, *b)
+		}
+		if seq[i].Result.Series.Len() != par[i].Result.Series.Len() {
+			t.Errorf("%s: series lengths differ", seq[i].Name)
+		}
+	}
+}
+
+// TestCancellation verifies that cancelling the context stops the batch at
+// the next job boundary and marks unstarted jobs as skipped.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	block := make(chan struct{})
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Run: func() (*sim.Result, error) {
+				if started.Add(1) == 1 {
+					cancel()     // cancel as soon as the first job runs
+					close(block) // then let jobs already in flight finish
+				} else {
+					<-block // jobs admitted concurrently wait for the signal
+				}
+				return &sim.Result{Policy: "noop"}, nil
+			},
+		}
+	}
+	res, err := (&Batch{Parallel: 2}).Run(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ran, skipped := 0, 0
+	for _, r := range res {
+		if r.Skipped {
+			skipped++
+		} else {
+			ran++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("cancellation did not skip any queued jobs")
+	}
+	if int(started.Load()) != ran {
+		t.Fatalf("started %d != ran %d", started.Load(), ran)
+	}
+	if ran > 4 {
+		t.Fatalf("%d jobs ran after cancellation with 2 workers", ran)
+	}
+}
+
+// TestFirstErrorAborts verifies a failing job cancels the remainder and
+// that the reported error is the first failure in job order.
+func TestFirstErrorAborts(t *testing.T) {
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Run: func() (*sim.Result, error) {
+				if i == 3 {
+					return nil, errors.New("boom")
+				}
+				time.Sleep(time.Millisecond)
+				return &sim.Result{Policy: "noop"}, nil
+			},
+		}
+	}
+	res, err := (&Batch{Parallel: 4}).Run(context.Background(), jobs)
+	if err == nil || err.Error() != "job-03: boom" {
+		t.Fatalf("err = %v, want job-03: boom", err)
+	}
+	if res[3].Error != "boom" {
+		t.Fatalf("job-03 result error = %q", res[3].Error)
+	}
+	skipped := 0
+	for _, r := range res {
+		if r.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("failure did not abort the remainder of the batch")
+	}
+}
+
+// TestProgress verifies progress snapshots are serialized, complete, and
+// monotone.
+func TestProgress(t *testing.T) {
+	traces := []*trace.Trace{testTrace(t, 4)}
+	var snaps []Progress
+	b := &Batch{Parallel: 4, OnProgress: func(p Progress) { snaps = append(snaps, p) }}
+	if _, err := b.Run(context.Background(), simJobs(traces)); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("progress calls = %d, want 2", len(snaps))
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 || p.Total != 2 {
+			t.Errorf("snapshot %d: done %d/%d", i, p.Done, p.Total)
+		}
+	}
+	if last := snaps[len(snaps)-1]; last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+}
+
+// TestDo exercises the generic task pool: slot-confined writes and
+// first-error-in-order reporting.
+func TestDo(t *testing.T) {
+	out := make([]int, 100)
+	tasks := make([]func() error, len(out))
+	for i := range tasks {
+		i := i
+		tasks[i] = func() error { out[i] = i * i; return nil }
+	}
+	if err := Do(context.Background(), 8, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	tasks[7] = func() error { return errors.New("seven") }
+	if err := Do(context.Background(), 8, tasks...); err == nil || err.Error() != "seven" {
+		t.Fatalf("err = %v, want seven", err)
+	}
+}
+
+// TestJSONRoundTrip checks the BENCH document encodes with stable fields.
+func TestJSONRoundTrip(t *testing.T) {
+	traces := []*trace.Trace{testTrace(t, 5)}
+	start := time.Now()
+	res, err := (&Batch{Parallel: 2}).Run(context.Background(), simJobs(traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize("test-batch", 2, time.Since(start).Seconds(), res)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, Document{Scale: 0.25, Seed: 42, Parallel: 2, Batches: []Summary{sum}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Batches) != 1 || doc.Batches[0].Jobs != 2 || doc.Batches[0].Failed != 0 {
+		t.Fatalf("bad document: %+v", doc)
+	}
+	m := doc.Batches[0].Results[0].Metrics
+	if m == nil || m.Placements == 0 {
+		t.Fatalf("metrics did not survive the round trip: %+v", doc.Batches[0].Results[0])
+	}
+}

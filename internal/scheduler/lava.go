@@ -103,17 +103,18 @@ func (l *LAVA) OnExited(_ *cluster.Pool, h *cluster.Host, _ *cluster.VM, now tim
 
 // OnTick implements Policy: deadline expiry detection (Fig. 5c). A host
 // that outlives its class deadline was under-predicted; promote it one
-// class and restart the clock.
+// class and restart the clock. The sweep runs every tick, so it iterates
+// only occupied hosts via the pool's free-capacity index.
 func (l *LAVA) OnTick(pool *cluster.Pool, now time.Duration) {
-	for _, h := range pool.Hosts() {
-		if h.State == cluster.StateEmpty || h.Empty() {
-			continue
+	pool.ForEachNonEmpty(func(h *cluster.Host) {
+		if h.State == cluster.StateEmpty {
+			return
 		}
 		if now > h.Deadline {
 			h.PromoteClass(now)
 			l.cache.Invalidate(h.ID)
 		}
-	}
+	})
 }
 
 // ModelCalls reports predictor invocations.

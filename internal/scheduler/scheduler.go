@@ -56,9 +56,17 @@ const scoreEpsilon = 1e-9
 // Chain is a lexicographic scoring policy: feasible hosts are filtered
 // level by level, and the final tie-break is the lowest host ID, keeping
 // runs deterministic.
+//
+// A Chain reuses internal candidate/scratch buffers across Schedule calls,
+// so the steady-state hot path allocates nothing; consequently a Chain
+// value must not be shared by concurrent simulations (each run constructs
+// its own policy, as internal/runner does).
 type Chain struct {
 	ChainName string
 	Scorers   []Scorer
+
+	cand    []*cluster.Host // reused candidate buffer
+	scratch []*cluster.Host // reused per-level filter buffer
 }
 
 // Name implements Policy.
@@ -66,11 +74,12 @@ func (c *Chain) Name() string { return c.ChainName }
 
 // Schedule implements Policy.
 func (c *Chain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
-	candidates := feasible(pool, vm)
+	candidates := pool.AppendFeasible(c.cand[:0], vm.Shape)
+	c.cand = candidates
 	if len(candidates) == 0 {
 		return nil, ErrNoCapacity
 	}
-	scratch := make([]*cluster.Host, 0, len(candidates))
+	scratch := c.scratch
 	for _, s := range c.Scorers {
 		if len(candidates) == 1 {
 			break
@@ -89,8 +98,10 @@ func (c *Chain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) 
 		}
 		candidates = append(candidates[:0], scratch...)
 	}
-	// Deterministic tie-break: lowest host ID. feasible() returns hosts in
-	// ID order and the filtering preserves it, so the first candidate wins.
+	c.scratch = scratch
+	// Deterministic tie-break: lowest host ID. AppendFeasible returns hosts
+	// in ID order and the filtering preserves it, so the first candidate
+	// wins.
 	return candidates[0], nil
 }
 
@@ -102,22 +113,6 @@ func (c *Chain) OnExited(*cluster.Pool, *cluster.Host, *cluster.VM, time.Duratio
 
 // OnTick implements Policy (no-op for plain chains).
 func (c *Chain) OnTick(*cluster.Pool, time.Duration) {}
-
-// feasible returns available hosts with room for the VM, in ID order
-// ("hosts with sufficient resources that match any hard constraints",
-// §2.2).
-func feasible(pool *cluster.Pool, vm *cluster.VM) []*cluster.Host {
-	var out []*cluster.Host
-	for _, h := range pool.Hosts() {
-		if h.Unavailable {
-			continue
-		}
-		if h.Fits(vm.Shape) {
-			out = append(out, h)
-		}
-	}
-	return out
-}
 
 // ScorerFunc adapts a function to the Scorer interface.
 type ScorerFunc struct {

@@ -19,11 +19,13 @@
 package lava
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
+	"lava/internal/runner"
 	"lava/internal/scheduler"
 	"lava/internal/sim"
 	"lava/internal/simtime"
@@ -160,20 +162,66 @@ func Simulate(tr *Trace, kind PolicyKind, pred Predictor) (*Result, error) {
 	return sim.Run(sim.Config{Trace: tr, Policy: pol})
 }
 
+// SimSpec names one simulation in a SimulateMany batch.
+type SimSpec struct {
+	Name   string // identifies the run in errors; defaults to pool/policy
+	Trace  *Trace
+	Policy PolicyKind
+	Pred   Predictor // may be nil for lifetime-unaware policies
+}
+
+// SimulateMany replays the specs concurrently across a bounded worker pool
+// (parallel <= 0 uses GOMAXPROCS) and returns results in spec order.
+// Results are identical to running each spec sequentially — see
+// internal/runner for the determinism contract. The first failure cancels
+// the remaining runs; cancelling ctx stops the batch at the next run
+// boundary.
+func SimulateMany(ctx context.Context, parallel int, specs ...SimSpec) ([]*Result, error) {
+	jobs := make([]runner.Job, len(specs))
+	for i, s := range specs {
+		s := s
+		name := s.Name
+		if name == "" {
+			name = s.Trace.PoolName + "/" + string(s.Policy)
+		}
+		jobs[i] = runner.Job{Name: name, Run: func() (*sim.Result, error) {
+			// Policies carry mutable caches, so each run builds its own.
+			pol, err := NewPolicy(s.Policy, s.Pred)
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run(sim.Config{Trace: s.Trace, Policy: pol})
+		}}
+	}
+	results, err := (&runner.Batch{Parallel: parallel}).Run(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("lava: %w", err)
+	}
+	out := make([]*Result, len(results))
+	for i := range results {
+		out[i] = results[i].Result
+	}
+	return out, nil
+}
+
 // Compare runs several policies on the same trace and returns results keyed
 // by policy kind — the quickest way to reproduce the paper's headline
-// comparison on one pool.
+// comparison on one pool. The policies run concurrently via SimulateMany.
 func Compare(tr *Trace, pred Predictor, kinds ...PolicyKind) (map[PolicyKind]*Result, error) {
 	if len(kinds) == 0 {
 		kinds = []PolicyKind{PolicyWasteMin, PolicyLABinary, PolicyNILAS, PolicyLAVA}
 	}
+	specs := make([]SimSpec, len(kinds))
+	for i, k := range kinds {
+		specs[i] = SimSpec{Trace: tr, Policy: k, Pred: pred}
+	}
+	results, err := SimulateMany(context.Background(), 0, specs...)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[PolicyKind]*Result, len(kinds))
-	for _, k := range kinds {
-		res, err := Simulate(tr, k, pred)
-		if err != nil {
-			return nil, fmt.Errorf("lava: %s: %w", k, err)
-		}
-		out[k] = res
+	for i, k := range kinds {
+		out[k] = results[i]
 	}
 	return out, nil
 }

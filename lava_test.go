@@ -1,6 +1,7 @@
 package lava
 
 import (
+	"context"
 	"testing"
 )
 
@@ -66,6 +67,43 @@ func TestSimulateEndToEnd(t *testing.T) {
 	}
 	if res.Placements == 0 || res.AvgEmptyHostFrac <= 0 {
 		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestSimulateMany(t *testing.T) {
+	tr := smallTrace(t)
+	pred, err := TrainModel(tr, ModelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []SimSpec{
+		{Trace: tr, Policy: PolicyWasteMin},
+		{Trace: tr, Policy: PolicyNILAS, Pred: pred},
+		{Trace: tr, Policy: PolicyLAVA, Pred: pred},
+	}
+	par, err := SimulateMany(context.Background(), 4, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := SimulateMany(context.Background(), 1, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(specs) || len(seq) != len(specs) {
+		t.Fatalf("results = %d/%d, want %d", len(par), len(seq), len(specs))
+	}
+	for i := range specs {
+		if par[i].Policy != seq[i].Policy {
+			t.Fatalf("spec %d: order differs: %s vs %s", i, par[i].Policy, seq[i].Policy)
+		}
+		// Determinism across worker counts, observed through the facade.
+		if par[i].AvgEmptyHostFrac != seq[i].AvgEmptyHostFrac || par[i].Placements != seq[i].Placements {
+			t.Errorf("spec %d (%s): parallel and sequential results differ", i, par[i].Policy)
+		}
+	}
+	// Invalid spec fails the batch.
+	if _, err := SimulateMany(context.Background(), 2, SimSpec{Trace: tr, Policy: PolicyLAVA}); err == nil {
+		t.Fatal("LAVA without predictor must fail the batch")
 	}
 }
 
