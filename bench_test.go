@@ -293,6 +293,23 @@ func BenchmarkSimulateMany(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioFederation measures the multi-cell scenario engine: a
+// 4-cell drain-wave federation under the baseline policy, compose + shard +
+// per-cell replay + rollup per op.
+func BenchmarkScenarioFederation(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roll, err := SimulateScenario(context.Background(), tr, PolicyWasteMin, nil, ScenarioConfig{
+			Scenario: "drain-wave", Seed: 1, Cells: 4, Router: RouterFeatureHash, Parallel: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = roll.AvgEmptyHostFrac
+	}
+}
+
 // BenchmarkStranding measures one inflation-simulation probe (§2.3).
 func BenchmarkStranding(b *testing.B) {
 	tr := benchTrace(b)

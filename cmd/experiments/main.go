@@ -7,6 +7,8 @@
 //	experiments -exp table1 -scale 0.5       # scaled-down run
 //	experiments -exp all -parallel 8         # fan simulations out over 8 workers
 //	experiments -exp fig6 -json BENCH_fig6.json  # machine-readable results
+//	experiments -exp scenarios -cells 4      # scenario matrix over a 4-cell federation
+//	experiments -exp scenarios -scenario drain-wave -router round-robin
 //
 // Simulation batches fan out across -parallel workers (default GOMAXPROCS;
 // results are identical at any worker count, see internal/runner). Progress
@@ -32,12 +34,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+") or 'all'")
-		scale    = flag.Float64("scale", 0.25, "study scale in (0,1]: 1 = paper-sized (slow)")
-		seed     = flag.Int64("seed", 42, "random seed")
-		parallel = flag.Int("parallel", 0, "simulation workers: 1 = sequential, 0 = GOMAXPROCS")
-		jsonOut  = flag.String("json", "", "write machine-readable batch results to this file ('-' for stdout)")
-		progress = flag.Bool("progress", false, "report batch progress and ETA on stderr")
+		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+") or 'all'")
+		scale     = flag.Float64("scale", 0.25, "study scale in (0,1]: 1 = paper-sized (slow)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		parallel  = flag.Int("parallel", 0, "simulation workers: 1 = sequential, 0 = GOMAXPROCS")
+		cells     = flag.Int("cells", 0, "federation width for the scenarios experiment (0 = default 4)")
+		scen      = flag.String("scenario", "", "restrict the scenarios experiment to one scenario id (empty = whole catalog)")
+		router    = flag.String("router", "", "cell router for the scenarios experiment: round-robin | least-utilized | feature-hash")
+		jsonOut   = flag.String("json", "", "write machine-readable batch results to this file ('-' for stdout)")
+		canonical = flag.Bool("canonical", false, "strip timings/worker counts from -json output so runs at any -parallel diff byte-identically")
+		progress  = flag.Bool("progress", false, "report batch progress and ETA on stderr")
 	)
 	flag.Parse()
 
@@ -46,7 +52,10 @@ func main() {
 		names = strings.Split(*exp, ",")
 	}
 
-	opt := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	opt := experiments.Options{
+		Scale: *scale, Seed: *seed, Parallel: *parallel,
+		Cells: *cells, Scenario: *scen, Router: *router,
+	}
 	if *progress {
 		opt.Progress = func(p runner.Progress) {
 			fmt.Fprintf(os.Stderr, "\r%-24s %d/%d done (%.1fs elapsed, ETA %.1fs)   ",
@@ -82,6 +91,9 @@ func main() {
 			Parallel:   runner.Workers(*parallel),
 			ElapsedSec: time.Since(start).Seconds(),
 			Batches:    sink.Summaries(),
+		}
+		if *canonical {
+			doc.Canonicalize()
 		}
 		if err := writeDoc(*jsonOut, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: write json: %v\n", err)

@@ -6,14 +6,24 @@
 //	lavasim -trace trace.jsonl -policy lava -model gbdt
 //	lavasim -trace trace.jsonl -policy wastemin
 //	lavasim -trace trace.jsonl -policy nilas -model oracle -defrag
+//	lavasim -trace trace.jsonl -cells 4 -scenario drain-wave   # federation
+//
+// With -cells > 1 or -scenario set, the run goes through the multi-cell
+// scenario engine: the named scenario (see -scenario for ids) composes onto
+// the trace, a router shards it across -cells independent cells, the cells
+// simulate concurrently (-parallel), and per-cell metrics are printed with
+// a fleet-level rollup.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"lava"
 	"lava/internal/defrag"
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
@@ -33,6 +43,11 @@ func main() {
 		refresh   = flag.Duration("cache", time.Minute, "host score cache refresh interval (0 disables)")
 		doDefrag  = flag.Bool("defrag", false, "enable the defragmentation engine (LARS ordering)")
 		doStrand  = flag.Bool("stranding", false, "measure stranding via inflation probes")
+		cells     = flag.Int("cells", 1, "shard the workload across this many independent cells")
+		scen      = flag.String("scenario", "", "scenario id ("+strings.Join(lava.ScenarioNames(), "|")+"); empty = steady replay")
+		router    = flag.String("router", "feature-hash", "cell router: round-robin | least-utilized | feature-hash")
+		seed      = flag.Int64("seed", 42, "scenario randomness seed")
+		parallel  = flag.Int("parallel", 0, "cell simulation workers: 1 = sequential, 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -56,6 +71,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *cells > 1 || *scen != "" {
+		if *doDefrag || *doStrand {
+			fatal(fmt.Errorf("-defrag/-stranding are single-cell options; drop them for federated runs"))
+		}
+		runFederated(tr, *policy, pred, *scen, *router, *cells, *seed, *parallel, *refresh)
+		return
+	}
+
 	pol, err := buildPolicy(*policy, pred, *refresh)
 	if err != nil {
 		fatal(err)
@@ -92,6 +116,42 @@ func main() {
 		fmt.Printf("stranding: cpu %5.2f%%  memory %5.2f%%\n",
 			100*probe.AvgStrandedCPU(tr.WarmUp), 100*probe.AvgStrandedMem(tr.WarmUp))
 	}
+}
+
+// runFederated drives the trace through the multi-cell scenario engine and
+// prints per-cell rows plus the fleet rollup.
+func runFederated(tr *trace.Trace, policy string, pred model.Predictor, scen, router string, cells int, seed int64, parallel int, refresh time.Duration) {
+	// The -cache flag uses 0 for "disabled"; the facade's zero value means
+	// "default", so map explicitly.
+	cacheRefresh := refresh
+	if cacheRefresh == 0 {
+		cacheRefresh = -1
+	}
+	roll, err := lava.SimulateScenario(context.Background(), tr, lava.PolicyKind(policy), pred, lava.ScenarioConfig{
+		Scenario:     scen,
+		Seed:         seed,
+		Cells:        cells,
+		Router:       lava.RouterKind(router),
+		CacheRefresh: cacheRefresh,
+		Parallel:     parallel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	name := scen
+	if name == "" {
+		name = "steady"
+	}
+	fmt.Printf("scenario: %s  policy: %s  cells: %d  router: %s\n", name, policy, cells, roll.Router)
+	fmt.Println("cell                  | hosts | empty hosts | cpu util | placed | failed | killed")
+	for i, res := range roll.Cells {
+		fmt.Printf("%-21s | %5d | %10.2f%% | %7.2f%% | %6d | %6d | %6d\n",
+			res.PoolName, roll.Hosts[i], 100*res.AvgEmptyHostFrac, 100*res.AvgCPUUtil,
+			res.Placements, res.Failed, res.Killed)
+	}
+	fmt.Printf("rollup: empty hosts %.2f%%  cpu util %.2f%%  util spread %.2f pp  placed %d  failed %d  killed %d\n",
+		100*roll.AvgEmptyHostFrac, 100*roll.AvgCPUUtil, 100*roll.UtilSpread,
+		roll.Placements, roll.Failed, roll.Killed)
 }
 
 func buildModel(tr *trace.Trace, kind, path string, trees int) (model.Predictor, error) {

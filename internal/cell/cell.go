@@ -1,0 +1,152 @@
+// Package cell federates a workload across multiple independent cells. The
+// paper's fleet is many Borg cells, each scheduled in isolation; this
+// package shards one pool-level trace into N per-cell traces through a
+// pluggable router, so the per-cell simulations stay independent jobs that
+// internal/runner fans out, and rolls the per-cell results back up into
+// fleet-level metrics.
+//
+// Routing happens at shard time, before any simulation starts: a router is
+// a deterministic function of the record stream (in canonical trace
+// order), never of simulation state, so a federation replays identically at
+// any worker count — the same determinism contract as internal/runner.
+package cell
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"lava/internal/trace"
+)
+
+// Router assigns trace records to cells. Route is called once per record in
+// canonical trace order (arrival, then ID); stateful routers (least
+// utilized) rely on that order, stateless ones (feature hash) ignore it.
+type Router interface {
+	Name() string
+	Cells() int
+	Route(rec *trace.Record) int
+}
+
+// RouterKinds lists the built-in router ids.
+func RouterKinds() []string { return []string{"round-robin", "least-utilized", "feature-hash"} }
+
+// NewRouter builds a built-in router over cells with the given host counts
+// (use SplitHosts for an even split).
+func NewRouter(kind string, cellHosts []int) (Router, error) {
+	n := len(cellHosts)
+	if n <= 0 {
+		return nil, fmt.Errorf("cell: no cells")
+	}
+	for i, h := range cellHosts {
+		if h <= 0 {
+			return nil, fmt.Errorf("cell: cell %d has %d hosts", i, h)
+		}
+	}
+	switch kind {
+	case "round-robin":
+		return &roundRobin{n: n}, nil
+	case "least-utilized":
+		return newLeastUtilized(cellHosts), nil
+	case "feature-hash":
+		return &featureHash{n: n}, nil
+	default:
+		return nil, fmt.Errorf("cell: unknown router %q (have %s)", kind, strings.Join(RouterKinds(), "|"))
+	}
+}
+
+// --- round-robin -----------------------------------------------------------
+
+// roundRobin cycles through cells in arrival order — the classic spreading
+// baseline.
+type roundRobin struct{ n, next int }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+func (r *roundRobin) Cells() int   { return r.n }
+func (r *roundRobin) Route(*trace.Record) int {
+	c := r.next
+	r.next = (r.next + 1) % r.n
+	return c
+}
+
+// --- feature-hash ----------------------------------------------------------
+
+// featureHash routes by a stable FNV-1a hash of the VM's feature tuple:
+// VMs of the same category/metadata/zone land in the same cell (affinity
+// routing). The assignment is a pure function of the record, so it is
+// stable across runs, record orderings and worker counts.
+type featureHash struct{ n int }
+
+func (f *featureHash) Name() string { return "feature-hash" }
+func (f *featureHash) Cells() int   { return f.n }
+func (f *featureHash) Route(rec *trace.Record) int {
+	h := fnv.New64a()
+	h.Write([]byte(rec.Feat.String()))
+	return int(h.Sum64() % uint64(f.n))
+}
+
+// --- least-utilized --------------------------------------------------------
+
+// leastUtilized routes each arrival to the cell with the lowest committed
+// CPU per host, releasing commitments as earlier VMs reach their exit
+// times. It plays an admission-time load balancer with drain knowledge:
+// deterministic (commitments derive from the trace's ground-truth
+// lifetimes, records arrive in canonical order) yet load-aware, unlike the
+// stateless routers.
+type leastUtilized struct {
+	hosts     []int   // per-cell host count (relative capacity)
+	committed []int64 // per-cell committed CPU-milli
+	exits     []exitHeap
+}
+
+func newLeastUtilized(cellHosts []int) *leastUtilized {
+	return &leastUtilized{
+		hosts:     cellHosts,
+		committed: make([]int64, len(cellHosts)),
+		exits:     make([]exitHeap, len(cellHosts)),
+	}
+}
+
+func (l *leastUtilized) Name() string { return "least-utilized" }
+func (l *leastUtilized) Cells() int   { return len(l.hosts) }
+
+func (l *leastUtilized) Route(rec *trace.Record) int {
+	best, bestScore := 0, 0.0
+	for i := range l.hosts {
+		// Release commitments of VMs gone by this arrival.
+		for len(l.exits[i]) > 0 && l.exits[i][0].at <= rec.Arrival {
+			l.committed[i] -= l.exits[i][0].cpu
+			heap.Pop(&l.exits[i])
+		}
+		score := float64(l.committed[i]) / float64(l.hosts[i])
+		if i == 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	l.committed[best] += rec.Shape.CPUMilli
+	heap.Push(&l.exits[best], exitEntry{at: rec.Exit(), cpu: rec.Shape.CPUMilli})
+	return best
+}
+
+// exitEntry is one future commitment release.
+type exitEntry struct {
+	at  time.Duration // exit time
+	cpu int64
+}
+
+// exitHeap is a min-heap of commitment releases ordered by exit time.
+type exitHeap []exitEntry
+
+func (h exitHeap) Len() int            { return len(h) }
+func (h exitHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h exitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *exitHeap) Push(x interface{}) { *h = append(*h, x.(exitEntry)) }
+func (h *exitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

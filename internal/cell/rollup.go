@@ -1,0 +1,72 @@
+package cell
+
+import (
+	"fmt"
+
+	"lava/internal/sim"
+)
+
+// Rollup aggregates per-cell simulation results into fleet-level metrics.
+// Quality averages are host-weighted (a 100-host cell counts for twice a
+// 50-host one); counters sum.
+type Rollup struct {
+	Router string
+	Hosts  []int
+	Cells  []*sim.Result
+
+	// Host-weighted averages of the per-cell steady-state aggregates.
+	AvgEmptyHostFrac  float64
+	AvgEmptyToFree    float64
+	AvgPackingDensity float64
+	AvgCPUUtil        float64
+
+	// Summed counters.
+	Placements int
+	Exits      int
+	Failed     int
+	Killed     int
+	ModelCalls int64
+
+	// UtilSpread is max-min of per-cell average CPU utilization: the
+	// router's load-balance quality (0 = perfectly even).
+	UtilSpread float64
+}
+
+// RollUp combines per-cell results. hosts and results must be parallel
+// slices in cell order.
+func RollUp(router string, hosts []int, results []*sim.Result) (*Rollup, error) {
+	if len(hosts) != len(results) || len(results) == 0 {
+		return nil, fmt.Errorf("cell: rollup over %d host counts and %d results", len(hosts), len(results))
+	}
+	r := &Rollup{Router: router, Hosts: hosts, Cells: results}
+	var totalHosts float64
+	minU, maxU := 0.0, 0.0
+	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("cell: rollup missing result for cell %d", i)
+		}
+		w := float64(hosts[i])
+		totalHosts += w
+		r.AvgEmptyHostFrac += w * res.AvgEmptyHostFrac
+		r.AvgEmptyToFree += w * res.AvgEmptyToFree
+		r.AvgPackingDensity += w * res.AvgPackingDensity
+		r.AvgCPUUtil += w * res.AvgCPUUtil
+		r.Placements += res.Placements
+		r.Exits += res.Exits
+		r.Failed += res.Failed
+		r.Killed += res.Killed
+		r.ModelCalls += res.ModelCalls
+		if i == 0 || res.AvgCPUUtil < minU {
+			minU = res.AvgCPUUtil
+		}
+		if i == 0 || res.AvgCPUUtil > maxU {
+			maxU = res.AvgCPUUtil
+		}
+	}
+	r.AvgEmptyHostFrac /= totalHosts
+	r.AvgEmptyToFree /= totalHosts
+	r.AvgPackingDensity /= totalHosts
+	r.AvgCPUUtil /= totalHosts
+	r.UtilSpread = maxU - minU
+	return r, nil
+}

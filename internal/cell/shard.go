@@ -1,0 +1,80 @@
+package cell
+
+import (
+	"fmt"
+
+	"lava/internal/trace"
+)
+
+// SplitHosts divides total hosts across n cells as evenly as possible, the
+// remainder going to the lowest-index cells.
+func SplitHosts(total, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = total / n
+		if i < total%n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Plan is a sharded workload: one sub-trace per cell, ready to simulate
+// independently.
+type Plan struct {
+	Router string
+	Hosts  []int          // per-cell host counts
+	Cells  []*trace.Trace // per-cell traces, same warm-up/horizon as the base
+}
+
+// PlanCells is the one-call sharding pipeline every federation entry point
+// uses: split the trace's hosts evenly, build the named router over them,
+// and shard. Keeping it in one place means the facade and the experiment
+// matrix cannot drift apart.
+func PlanCells(tr *trace.Trace, routerKind string, cells int) (*Plan, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("cell: %d cells", cells)
+	}
+	if tr.Hosts < cells {
+		return nil, fmt.Errorf("cell: %d hosts cannot form %d cells", tr.Hosts, cells)
+	}
+	r, err := NewRouter(routerKind, SplitHosts(tr.Hosts, cells))
+	if err != nil {
+		return nil, err
+	}
+	return Shard(tr, r)
+}
+
+// Shard partitions the trace across the router's cells. Records must be in
+// canonical order (Trace.Sort): stateful routers consume them as an arrival
+// stream. Host counts come from SplitHosts over the base pool.
+func Shard(tr *trace.Trace, r Router) (*Plan, error) {
+	n := r.Cells()
+	if n <= 0 {
+		return nil, fmt.Errorf("cell: router %s has no cells", r.Name())
+	}
+	if tr.Hosts < n {
+		return nil, fmt.Errorf("cell: %d hosts cannot form %d cells", tr.Hosts, n)
+	}
+	hosts := SplitHosts(tr.Hosts, n)
+	p := &Plan{Router: r.Name(), Hosts: hosts, Cells: make([]*trace.Trace, n)}
+	for i := range p.Cells {
+		p.Cells[i] = &trace.Trace{
+			PoolName: fmt.Sprintf("%s/cell-%d", tr.PoolName, i),
+			Hosts:    hosts[i],
+			HostCPU:  tr.HostCPU,
+			HostMem:  tr.HostMem,
+			HostSSD:  tr.HostSSD,
+			WarmUp:   tr.WarmUp,
+			Horizon:  tr.Horizon,
+		}
+	}
+	for idx := range tr.Records {
+		c := r.Route(&tr.Records[idx])
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("cell: router %s routed record %d to cell %d of %d", r.Name(), idx, c, n)
+		}
+		p.Cells[c].Records = append(p.Cells[c].Records, tr.Records[idx])
+	}
+	return p, nil
+}

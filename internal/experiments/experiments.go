@@ -37,6 +37,18 @@ type Options struct {
 	// Results are identical at any setting (see internal/runner).
 	Parallel int
 
+	// Cells is the federation width for the scenarios experiment: the
+	// workload is sharded across this many independent cells (default 4).
+	Cells int
+
+	// Scenario restricts the scenarios experiment to one named scenario
+	// from the internal/scenario catalog; empty runs the whole catalog.
+	Scenario string
+
+	// Router picks the cell router for the scenarios experiment
+	// (round-robin | least-utilized | feature-hash; default feature-hash).
+	Router string
+
 	// Progress, if non-nil, receives a snapshot after every batch job
 	// completes (aggregated completion counts and an ETA).
 	Progress func(runner.Progress)

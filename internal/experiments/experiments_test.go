@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"table1", "table2", "table3", "table4", "theorem1",
+		"table1", "table2", "table3", "table4", "theorem1", "scenarios",
 	}
 	have := map[string]bool{}
 	for _, n := range Names() {
@@ -326,6 +326,72 @@ func TestFig15Fig16Fig17Pipelines(t *testing.T) {
 	}
 	if r17.Empty[2] < r17.Empty[0]-0.05 {
 		t.Errorf("caching destroyed packing: %v vs %v", r17.Empty[2], r17.Empty[0])
+	}
+}
+
+// TestScenariosPipeline runs the scenario matrix end to end at tiny scale:
+// every catalog scenario, two policy arms, a 2-cell federation.
+func TestScenariosPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	opt := tiny()
+	opt.Cells = 2
+	rep, out := runAndRender(t, "scenarios", opt)
+	r := rep.(*ScenariosReport)
+	if r.Cells != 2 || r.Router != "feature-hash" {
+		t.Fatalf("cells/router = %d/%s", r.Cells, r.Router)
+	}
+	byArm := map[string]*ScenarioRow{}
+	scenarios := map[string]bool{}
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		scenarios[row.Scenario] = true
+		byArm[row.Scenario+"/"+row.Policy] = row
+		if row.Rollup.Placements == 0 {
+			t.Errorf("%s/%s placed nothing", row.Scenario, row.Policy)
+		}
+	}
+	if len(scenarios) < 4 {
+		t.Fatalf("matrix covered %d scenarios, want >= 4: %s", len(scenarios), out)
+	}
+	// The failure scenario must actually kill VMs; steady must not.
+	if row := byArm["failures/base"]; row == nil || row.Rollup.Killed == 0 {
+		t.Error("failures scenario killed no VMs")
+	}
+	if row := byArm["steady/base"]; row == nil || row.Rollup.Killed != 0 {
+		t.Error("steady scenario killed VMs")
+	}
+	// A surge adds arrivals over steady state.
+	if s, b := byArm["surge/base"], byArm["steady/base"]; s != nil && b != nil {
+		if s.Rollup.Placements+s.Rollup.Failed <= b.Rollup.Placements+b.Rollup.Failed {
+			t.Error("surge scenario did not increase demand")
+		}
+	}
+}
+
+// TestScenariosParallelDeterminism is the acceptance check behind CI's
+// determinism job: the scenario matrix renders byte-identically at 1 and 8
+// workers.
+func TestScenariosParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	render := func(parallel int) string {
+		opt := tiny()
+		opt.Cells = 2
+		opt.Scenario = "drain-wave"
+		opt.Parallel = parallel
+		rep, err := Run("scenarios", opt)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		return buf.String()
+	}
+	if seq, par := render(1), render(8); seq != par {
+		t.Errorf("scenarios output differs between 1 and 8 workers:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
 	}
 }
 

@@ -66,6 +66,23 @@ type Document struct {
 	Batches    []Summary `json:"batches"`
 }
 
+// Canonicalize strips the document's run-environment noise — wall-clock
+// timings and worker counts — leaving only fields that are a pure function
+// of (experiments, scale, seed). Canonical documents from runs at different
+// parallelism settings are byte-identical, which is what CI's determinism
+// job diffs.
+func (d *Document) Canonicalize() {
+	d.Parallel = 0
+	d.ElapsedSec = 0
+	for i := range d.Batches {
+		d.Batches[i].Workers = 0
+		d.Batches[i].ElapsedSec = 0
+		for j := range d.Batches[i].Results {
+			d.Batches[i].Results[j].ElapsedSec = 0
+		}
+	}
+}
+
 // WriteJSON writes the document, indented for diff-friendliness.
 func WriteJSON(w io.Writer, doc Document) error {
 	enc := json.NewEncoder(w)

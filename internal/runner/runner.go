@@ -59,6 +59,7 @@ type Metrics struct {
 	Placements        int     `json:"placements"`
 	Exits             int     `json:"exits"`
 	Failed            int     `json:"failed"`
+	Killed            int     `json:"killed,omitempty"`
 	ModelCalls        int64   `json:"model_calls,omitempty"`
 }
 
@@ -72,6 +73,7 @@ func metricsOf(r *sim.Result) *Metrics {
 		Placements:        r.Placements,
 		Exits:             r.Exits,
 		Failed:            r.Failed,
+		Killed:            r.Killed,
 		ModelCalls:        r.ModelCalls,
 	}
 }

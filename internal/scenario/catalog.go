@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lava/internal/trace"
+)
+
+// Names lists the built-in scenario ids, sorted. "steady" is the empty
+// scenario (the unmodified trace) so A/B comparisons have a control arm.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds one named scenario positioned on the trace's measured
+// window (see Catalog).
+func ByName(name string, tr *trace.Trace, seed int64) (Spec, error) {
+	b, ok := builders[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), "|"))
+	}
+	return b(tr, seed), nil
+}
+
+// Catalog returns every built-in scenario positioned on the trace's
+// measured window: event times are placed relative to [WarmUp, End), so the
+// same catalog works at any study scale.
+func Catalog(tr *trace.Trace, seed int64) []Spec {
+	names := Names()
+	out := make([]Spec, 0, len(names))
+	for _, name := range names {
+		out = append(out, builders[name](tr, seed))
+	}
+	return out
+}
+
+// window maps a fraction of the measured window to an absolute sim time.
+type window struct{ start, span time.Duration }
+
+func measured(tr *trace.Trace) window {
+	return window{start: tr.WarmUp, span: tr.End() - tr.WarmUp}
+}
+
+func (w window) at(f float64) time.Duration {
+	return w.start + time.Duration(f*float64(w.span))
+}
+
+func (w window) frac(f float64) time.Duration {
+	return time.Duration(f * float64(w.span))
+}
+
+// builders maps scenario ids to constructors. Every entry must tolerate any
+// trace scale: event positions derive from the measured window, magnitudes
+// are pool-relative fractions.
+var builders = map[string]func(*trace.Trace, int64) Spec{
+	"steady": func(_ *trace.Trace, seed int64) Spec {
+		return Spec{Name: "steady", Seed: seed}
+	},
+	// A sustained demand surge: +150% arrivals over a fifth of the window.
+	"surge": func(tr *trace.Trace, seed int64) Spec {
+		w := measured(tr)
+		return Spec{Name: "surge", Seed: seed, Events: []Event{
+			Surge{At: w.at(0.3), For: w.frac(0.2), Factor: 2.5, Law: LawSquare},
+		}}
+	},
+	// A flash crowd: a short, front-loaded 4x burst.
+	"flash-crowd": func(tr *trace.Trace, seed int64) Spec {
+		w := measured(tr)
+		return Spec{Name: "flash-crowd", Seed: seed, Events: []Event{
+			Surge{At: w.at(0.5), For: w.frac(0.125), Factor: 4, Law: LawSpike},
+		}}
+	},
+	// A rolling maintenance campaign: four back-to-back waves, each
+	// draining a tenth of the pool.
+	"drain-wave": func(tr *trace.Trace, seed int64) Spec {
+		w := measured(tr)
+		return Spec{Name: "drain-wave", Seed: seed, Events: []Event{
+			DrainWave{At: w.at(0.25), Every: w.frac(1.0 / 12), Waves: 4, Frac: 0.1, For: w.frac(1.0 / 12)},
+		}}
+	},
+	// A correlated failure: 15% of hosts (one power domain) die together
+	// and return after repair.
+	"failures": func(tr *trace.Trace, seed int64) Spec {
+		w := measured(tr)
+		return Spec{Name: "failures", Seed: seed, Events: []Event{
+			Failures{At: w.at(0.4), Frac: 0.15, RepairFor: w.frac(1.0 / 6)},
+		}}
+	},
+	// A capacity crunch: a quarter of the pool is withdrawn for a third of
+	// the window.
+	"crunch": func(tr *trace.Trace, seed int64) Spec {
+		w := measured(tr)
+		return Spec{Name: "crunch", Seed: seed, Events: []Event{
+			Crunch{At: w.at(0.35), Frac: 0.25, For: w.frac(1.0 / 3)},
+		}}
+	},
+	// A bad model push mid-run: predictions degrade to 30% accuracy.
+	"model-swap": func(tr *trace.Trace, seed int64) Spec {
+		w := measured(tr)
+		return Spec{Name: "model-swap", Seed: seed, Events: []Event{
+			ModelSwap{At: w.at(0.3), Accuracy: 0.3},
+		}}
+	},
+}

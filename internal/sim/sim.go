@@ -22,6 +22,99 @@ type Component interface {
 	Tick(pool *cluster.Pool, now time.Duration)
 }
 
+// Injector is a scenario event driver ticked by the simulator. Unlike a
+// Component, which only sees the pool, an Injector acts through Control and
+// can perform policy-aware mutations — forced VM exits, host withdrawals —
+// that the trace itself does not contain (internal/scenario builds its
+// typed events on this hook). Injectors run at the start of every tick,
+// before the policy's OnTick and the Components, so policies react to
+// injected events on the same tick.
+type Injector interface {
+	Inject(ctl *Control, now time.Duration)
+}
+
+// Control is the mutation surface the simulator hands to Injectors. It
+// bundles the pool with the run's policy and counters so injected events
+// stay indistinguishable from trace events: a killed VM leaves through the
+// same policy hook as a natural exit. Host withdrawals are
+// reference-counted across all of a run's injectors (Withdraw/Restore), so
+// overlapping events — a drain wave crossing a capacity crunch — keep a
+// host out of service until the last claim on it is released.
+type Control struct {
+	pool   *cluster.Pool
+	policy scheduler.Policy
+	res    *Result
+
+	claims map[cluster.HostID]int  // withdrawal claims held by injectors
+	owned  map[cluster.HostID]bool // Unavailable flags this Control flipped
+}
+
+// NewControl builds a Control over a pool/policy pair. The simulator calls
+// this internally; tests drive injectors directly with it.
+func NewControl(pool *cluster.Pool, policy scheduler.Policy, res *Result) *Control {
+	if res == nil {
+		res = &Result{}
+	}
+	return &Control{
+		pool:   pool,
+		policy: policy,
+		res:    res,
+		claims: make(map[cluster.HostID]int),
+		owned:  make(map[cluster.HostID]bool),
+	}
+}
+
+// Pool returns the pool under simulation. Injectors may read it freely;
+// host withdrawal must go through Withdraw/Restore and VM removal through
+// Kill.
+func (c *Control) Pool() *cluster.Pool { return c.pool }
+
+// Withdraw takes a host out of service under a reference-counted claim. A
+// host already made unavailable by a non-injector component (defrag,
+// maintenance) is claimed but its flag is left alone — that owner restores
+// it on its own schedule.
+func (c *Control) Withdraw(id cluster.HostID) {
+	c.claims[id]++
+	if c.claims[id] == 1 {
+		if h := c.pool.Host(id); !h.Unavailable {
+			h.Unavailable = true
+			c.owned[id] = true
+		}
+	}
+}
+
+// Restore releases one withdrawal claim. The host returns to service only
+// when the last claim drops and this Control set its flag in the first
+// place.
+func (c *Control) Restore(id cluster.HostID) {
+	if c.claims[id] == 0 {
+		return // unbalanced Restore: nothing held
+	}
+	c.claims[id]--
+	if c.claims[id] == 0 && c.owned[id] {
+		c.pool.Host(id).Unavailable = false
+		delete(c.owned, id)
+	}
+}
+
+// Withdrawn reports whether injectors currently hold claims on the host.
+func (c *Control) Withdrawn(id cluster.HostID) bool { return c.claims[id] > 0 }
+
+// Kill force-exits a running VM (host failure): the VM leaves the pool and
+// the policy observes the exit exactly as for a natural one. The VM's later
+// trace EXIT event, if any, is skipped by the replay loop.
+func (c *Control) Kill(id cluster.VMID, now time.Duration) error {
+	h, vm, err := c.pool.Exit(id)
+	if err != nil {
+		return err
+	}
+	if c.policy != nil {
+		c.policy.OnExited(c.pool, h, vm, now)
+	}
+	c.res.Killed++
+	return nil
+}
+
 // Config configures one simulation run.
 type Config struct {
 	Trace  *trace.Trace
@@ -43,6 +136,12 @@ type Config struct {
 
 	// Components run on every tick.
 	Components []Component
+
+	// Injectors run on every tick, before the policy tick and the
+	// Components. Scenario engines (internal/scenario) use them to drive
+	// operational events — drain waves, correlated failures, capacity
+	// crunches — into an otherwise steady trace.
+	Injectors []Injector
 
 	// CheckInvariants validates pool consistency at every sample (slow;
 	// for tests).
@@ -66,6 +165,7 @@ type Result struct {
 	Placements int
 	Exits      int
 	Failed     int // VM requests that found no feasible host
+	Killed     int // VMs force-exited by scenario injectors (host failures)
 	ModelCalls int64
 
 	FinalPool *cluster.Pool
@@ -106,6 +206,8 @@ func Run(cfg Config) (*Result, error) {
 	// which says nothing about steady-state packing quality.
 	end := cfg.Trace.End()
 
+	ctl := NewControl(pool, cfg.Policy, res)
+
 	nextSample := time.Duration(0)
 	nextTick := cfg.TickEvery
 
@@ -122,6 +224,9 @@ func Run(cfg Config) (*Result, error) {
 				}
 				nextSample += cfg.SampleEvery
 			} else {
+				for _, in := range cfg.Injectors {
+					in.Inject(ctl, nextTick)
+				}
 				cfg.Policy.OnTick(pool, nextTick)
 				for _, c := range cfg.Components {
 					c.Tick(pool, nextTick)

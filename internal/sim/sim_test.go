@@ -156,6 +156,61 @@ func TestComponentsTicked(t *testing.T) {
 	}
 }
 
+// killFirst kills the lowest-ID running VM once, at the first tick at or
+// after At.
+type killFirst struct {
+	At    time.Duration
+	done  bool
+	KillT time.Duration
+}
+
+func (k *killFirst) Inject(ctl *Control, now time.Duration) {
+	if k.done || now < k.At {
+		return
+	}
+	vms := ctl.Pool().RunningVMs()
+	if len(vms) == 0 {
+		return
+	}
+	if err := ctl.Kill(vms[0].ID, now); err != nil {
+		panic(err)
+	}
+	k.done = true
+	k.KillT = now
+}
+
+func TestInjectorKillsVM(t *testing.T) {
+	tr := smallTrace(t, 2, 0.6, 7)
+	inj := &killFirst{At: tr.WarmUp / 2}
+	res, err := Run(Config{
+		Trace: tr, Policy: scheduler.NewWasteMin(),
+		Injectors:       []Injector{inj},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.done {
+		t.Fatal("injector never fired")
+	}
+	if res.Killed != 1 {
+		t.Fatalf("Killed = %d, want 1", res.Killed)
+	}
+	// The killed VM's natural EXIT event must be skipped, not double
+	// counted: every placement leaves at most once, through either path.
+	if res.Exits+res.Killed > res.Placements {
+		t.Fatalf("exits %d + killed %d > placements %d", res.Exits, res.Killed, res.Placements)
+	}
+}
+
+func TestControlKillUnknownVM(t *testing.T) {
+	pool := cluster.NewPool("p", 4, workload.DefaultHostShape)
+	ctl := NewControl(pool, scheduler.NewWasteMin(), nil)
+	if err := ctl.Kill(42, time.Hour); err == nil {
+		t.Fatal("killing a VM that is not running must fail")
+	}
+}
+
 func TestWarmUpExcludedFromAggregates(t *testing.T) {
 	tr := smallTrace(t, 3, 0.6, 6)
 	// Force a tiny warm-up vs the trace's full prefill.

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"time"
 
+	"lava/internal/cell"
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
 	"lava/internal/runner"
+	"lava/internal/scenario"
 	"lava/internal/scheduler"
 	"lava/internal/sim"
 	"lava/internal/simtime"
@@ -128,9 +130,16 @@ const (
 	PolicyLAVA     PolicyKind = "lava"      // lifetime-aware VM allocation
 )
 
-// NewPolicy builds a policy over the given predictor. The lifetime-unaware
-// baselines accept a nil predictor.
+// NewPolicy builds a policy over the given predictor with the default
+// 1-minute host-score cache. The lifetime-unaware baselines accept a nil
+// predictor.
 func NewPolicy(kind PolicyKind, pred Predictor) (scheduler.Policy, error) {
+	return newPolicy(kind, pred, time.Minute)
+}
+
+// newPolicy builds a policy with an explicit cache refresh interval
+// (0 disables caching).
+func newPolicy(kind PolicyKind, pred Predictor, refresh time.Duration) (scheduler.Policy, error) {
 	switch kind {
 	case PolicyWasteMin:
 		return scheduler.NewWasteMin(), nil
@@ -144,9 +153,9 @@ func NewPolicy(kind PolicyKind, pred Predictor) (scheduler.Policy, error) {
 		case PolicyLABinary:
 			return scheduler.NewLABinary(pred), nil
 		case PolicyNILAS:
-			return scheduler.NewNILAS(pred, time.Minute), nil
+			return scheduler.NewNILAS(pred, refresh), nil
 		default:
-			return scheduler.NewLAVA(pred, time.Minute), nil
+			return scheduler.NewLAVA(pred, refresh), nil
 		}
 	default:
 		return nil, fmt.Errorf("lava: unknown policy kind %q", kind)
@@ -202,6 +211,112 @@ func SimulateMany(ctx context.Context, parallel int, specs ...SimSpec) ([]*Resul
 		out[i] = results[i].Result
 	}
 	return out, nil
+}
+
+// RouterKind selects a cell router for multi-cell federations.
+type RouterKind string
+
+// Supported routers (see internal/cell).
+const (
+	RouterRoundRobin    RouterKind = "round-robin"    // spread arrivals cyclically
+	RouterLeastUtilized RouterKind = "least-utilized" // balance committed load
+	RouterFeatureHash   RouterKind = "feature-hash"   // stable affinity routing
+)
+
+// ScenarioNames lists the built-in scenario ids (internal/scenario):
+// operational-event overlays — arrival surges, maintenance-drain waves,
+// correlated failures, capacity crunches, mispredicting model pushes — that
+// compose onto any trace. "steady" is the unmodified control arm.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioConfig shapes a SimulateScenario run.
+type ScenarioConfig struct {
+	// Scenario is a built-in scenario id (ScenarioNames); "" or "steady"
+	// replays the trace unmodified.
+	Scenario string
+
+	// Seed drives scenario randomness (burst sampling, failure placement).
+	Seed int64
+
+	// Cells shards the workload across this many independent cells
+	// (default 1: a single pool, no federation).
+	Cells int
+
+	// Router picks how records map to cells (default RouterFeatureHash).
+	Router RouterKind
+
+	// CacheRefresh is the host-score cache refresh interval for
+	// lifetime-aware policies: 0 means the default (1 minute), negative
+	// disables caching.
+	CacheRefresh time.Duration
+
+	// Parallel is the worker budget for the per-cell simulations: 1 runs
+	// sequentially, <= 0 uses GOMAXPROCS. Results are identical at any
+	// setting.
+	Parallel int
+}
+
+// SimulateScenario composes a named scenario onto the trace, shards the
+// result across a multi-cell federation, replays every cell concurrently
+// under the policy, and rolls the per-cell metrics back up. Deterministic
+// given (trace, cfg.Seed) at any Parallel setting.
+func SimulateScenario(ctx context.Context, tr *Trace, kind PolicyKind, pred Predictor, cfg ScenarioConfig) (*cell.Rollup, error) {
+	name := cfg.Scenario
+	if name == "" {
+		name = "steady"
+	}
+	spec, err := scenario.ByName(name, tr, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cells := cfg.Cells
+	if cells <= 0 {
+		cells = 1
+	}
+	routerKind := cfg.Router
+	if routerKind == "" {
+		routerKind = RouterFeatureHash
+	}
+
+	composed, err := spec.ComposeTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := cell.PlanCells(composed, string(routerKind), cells)
+	if err != nil {
+		return nil, err
+	}
+
+	if pred != nil {
+		pred = spec.WrapModel(pred)
+	}
+	refresh := cfg.CacheRefresh
+	switch {
+	case refresh == 0:
+		refresh = time.Minute
+	case refresh < 0:
+		refresh = 0
+	}
+	jobs := make([]runner.Job, len(plan.Cells))
+	for i, ct := range plan.Cells {
+		i, ct := i, ct
+		jobs[i] = runner.Job{Name: ct.PoolName, Seed: cfg.Seed, Run: func() (*sim.Result, error) {
+			pol, err := newPolicy(kind, pred, refresh)
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run(sim.Config{Trace: ct, Policy: pol, Injectors: spec.Injectors(i)})
+		}}
+	}
+	results, err := (&runner.Batch{Parallel: cfg.Parallel}).Run(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("lava: scenario %s: %w", name, err)
+	}
+	sims := make([]*sim.Result, len(results))
+	for i := range results {
+		sims[i] = results[i].Result
+	}
+	return cell.RollUp(plan.Router, plan.Hosts, sims)
 }
 
 // Compare runs several policies on the same trace and returns results keyed

@@ -107,6 +107,46 @@ func TestSimulateMany(t *testing.T) {
 	}
 }
 
+func TestSimulateScenarioFederation(t *testing.T) {
+	tr := smallTrace(t)
+	roll, err := SimulateScenario(context.Background(), tr, PolicyWasteMin, nil, ScenarioConfig{
+		Scenario: "drain-wave", Seed: 3, Cells: 4, Router: RouterFeatureHash, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roll.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(roll.Cells))
+	}
+	hostSum := 0
+	for _, h := range roll.Hosts {
+		hostSum += h
+	}
+	if hostSum != tr.Hosts {
+		t.Fatalf("federation holds %d of %d hosts", hostSum, tr.Hosts)
+	}
+	if roll.Placements == 0 || roll.AvgCPUUtil <= 0 {
+		t.Fatalf("implausible rollup: %+v", roll)
+	}
+	// Determinism across worker counts, through the facade.
+	seq, err := SimulateScenario(context.Background(), tr, PolicyWasteMin, nil, ScenarioConfig{
+		Scenario: "drain-wave", Seed: 3, Cells: 4, Router: RouterFeatureHash, Parallel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.AvgEmptyHostFrac != roll.AvgEmptyHostFrac || seq.Placements != roll.Placements || seq.Failed != roll.Failed {
+		t.Fatal("scenario federation differs across worker counts")
+	}
+	// Unknown scenario and oversharding fail cleanly.
+	if _, err := SimulateScenario(context.Background(), tr, PolicyWasteMin, nil, ScenarioConfig{Scenario: "nope"}); err == nil {
+		t.Fatal("unknown scenario must fail")
+	}
+	if _, err := SimulateScenario(context.Background(), tr, PolicyWasteMin, nil, ScenarioConfig{Cells: tr.Hosts + 1}); err == nil {
+		t.Fatal("more cells than hosts must fail")
+	}
+}
+
 func TestCompare(t *testing.T) {
 	tr := smallTrace(t)
 	pred, err := TrainModel(tr, ModelOracle)
