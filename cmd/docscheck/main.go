@@ -1,0 +1,83 @@
+// Command docscheck is the documentation gate behind CI's docs job: it
+// walks every Go package in the repository and fails (exit 1, one line per
+// offender) unless at least one non-test file in the package carries a
+// godoc package comment. It is a dependency-free stand-in for staticcheck's
+// ST1000, extended to main packages, so `go doc` always has something to
+// say about every layer.
+//
+// Usage:
+//
+//	docscheck [root]    # root defaults to "."
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	// Collect package directories: any directory holding non-test .go
+	// files.
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		dirs[dir] = append(dirs[dir], path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+
+	var missing []string
+	fset := token.NewFileSet()
+	for dir, files := range dirs {
+		documented := false
+		for _, f := range files {
+			// PackageClauseOnly still attaches the doc comment.
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", f, err)
+				os.Exit(2)
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	for _, dir := range missing {
+		fmt.Printf("%s: package has no package comment (add a doc.go)\n", dir)
+	}
+	if len(missing) > 0 {
+		os.Exit(1)
+	}
+}

@@ -3,22 +3,36 @@
 // Usage:
 //
 //	experiments -exp fig6                    # one experiment
+//	experiments -exp fig6,fig13              # a comma-separated list
 //	experiments -exp all                     # everything (slow at scale 1)
 //	experiments -exp table1 -scale 0.5       # scaled-down run
 //	experiments -exp all -parallel 8         # fan simulations out over 8 workers
 //	experiments -exp fig6 -json BENCH_fig6.json  # machine-readable results
 //	experiments -exp scenarios -cells 4      # scenario matrix over a 4-cell federation
 //	experiments -exp scenarios -scenario drain-wave -router round-robin
+//	experiments -exp fig13 -parallel 8 -canonical -json out.json  # CI determinism gate
 //
 // Simulation batches fan out across -parallel workers (default GOMAXPROCS;
 // results are identical at any worker count, see internal/runner). Progress
 // and ETA go to stderr with -progress. -json writes every batch's per-job
 // metrics and timings as an indented JSON document ("-" for stdout) for
-// BENCH_*.json trajectory tracking.
+// BENCH_*.json trajectory tracking; -canonical strips wall-clock timings
+// and worker counts from that document so runs at any -parallel setting
+// diff byte-identically — the CI determinism job relies on it.
+//
+// The scenarios experiment (PR 2) takes three extra knobs, ignored by the
+// classic table/figure experiments:
+//
+//	-cells N              federation width (default 0 = the experiment's
+//	                      built-in default of 4 cells)
+//	-scenario ID          restrict to one scenario from the catalog
+//	                      (default "" = the whole catalog, steady included)
+//	-router KIND          cell router: round-robin | least-utilized |
+//	                      feature-hash (default "" = feature-hash)
 //
 // Each experiment prints the same rows/series the paper reports plus the
-// paper's published values for comparison; EXPERIMENTS.md records a full
-// paper-vs-measured table.
+// paper's published values for comparison. See README.md for the full
+// experiment-to-figure map and how these flags combine with the CI gates.
 package main
 
 import (

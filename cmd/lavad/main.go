@@ -1,0 +1,121 @@
+// Command lavad is the online placement daemon: it loads a pool geometry
+// (and model training data) from a trace file, trains the requested
+// lifetime model, and serves the LAVA scheduling stack over an HTTP JSON
+// API — /place, /exit, /tick, /stats, /snapshot, /drain — instead of
+// replaying the trace offline.
+//
+// Usage:
+//
+//	lavad -trace trace.jsonl                         # LAVA + dist model on :8080
+//	lavad -trace trace.jsonl -policy nilas -model gbdt -addr 127.0.0.1:9000
+//	lavad -trace trace.jsonl -model oracle           # memo auto-disabled
+//
+// Replaying the same trace against the daemon with cmd/lavaload reproduces
+// `lavasim -trace trace.jsonl` byte-for-byte; see internal/serve for the
+// determinism contract. SIGINT/SIGTERM shut the listener down gracefully
+// and stop the event loop.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lava"
+	"lava/internal/model"
+	"lava/internal/model/gbdt"
+	"lava/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file: pool geometry, warm-up/horizon, and model training data (required)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		policy    = flag.String("policy", "lava", "wastemin | bestfit | la-binary | nilas | lava")
+		modelKind = flag.String("model", "dist", "oracle | gbdt | km | dist (lifetime model for lifetime-aware policies)")
+		trees     = flag.Int("trees", 400, "GBDT trees when training in-process")
+		refresh   = flag.Duration("cache", time.Minute, "host score cache refresh interval (0 disables)")
+		memo      = flag.Bool("memo", true, "memoize predictions on (features, uptime); forced off for -model oracle")
+		tick      = flag.Duration("tick", 0, "policy tick period (default 5m)")
+		sample    = flag.Duration("sample", 0, "metric sampling period (default 1h)")
+		queue     = flag.Int("queue", 0, "admission queue depth (default 256)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fatal(err)
+	}
+
+	pred, err := buildModel(tr, *modelKind, *trees)
+	if err != nil {
+		fatal(err)
+	}
+	// The oracle predicts from VM identity, which a (features, uptime) memo
+	// key cannot capture.
+	useMemo := *memo && *modelKind != "oracle"
+
+	// The -cache flag uses 0 for "disabled"; the facade's zero value means
+	// "default", so map explicitly.
+	cacheRefresh := *refresh
+	if cacheRefresh == 0 {
+		cacheRefresh = -1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts), policy %s, model %s (memo %v), horizon %v\n",
+		tr.PoolName, tr.Hosts, *policy, pred.Name(), useMemo, tr.End())
+	fmt.Fprintf(os.Stderr, "lavad: listening on http://%s\n", *addr)
+
+	err = lava.Serve(ctx, *addr, tr, lava.ServeConfig{
+		Policy:       lava.PolicyKind(*policy),
+		Pred:         pred,
+		Memo:         useMemo,
+		CacheRefresh: cacheRefresh,
+		TickEvery:    *tick,
+		SampleEvery:  *sample,
+		QueueDepth:   *queue,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "lavad: shut down")
+}
+
+// buildModel trains the requested lifetime model on the trace's records.
+func buildModel(tr *trace.Trace, kind string, trees int) (model.Predictor, error) {
+	switch kind {
+	case "oracle":
+		return model.Oracle{}, nil
+	case "km":
+		return model.TrainKM(tr.Records, nil)
+	case "dist":
+		return model.TrainDistTable(tr.Records, nil)
+	case "gbdt":
+		return model.TrainGBDT(tr.Records, gbdt.Params{Trees: trees})
+	default:
+		return nil, fmt.Errorf("unknown model kind %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lavad:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command lavaload replays a trace against a running lavad placement
+// daemon and reports serving performance: achieved throughput plus
+// p50/p95/p99 client-observed placement latency, in the same BENCH JSON
+// document format the experiment runner emits, so the serving trajectory
+// is tracked by the same CI artifacts as packing quality.
+//
+// Usage:
+//
+//	lavaload -trace trace.jsonl                              # replay at max speed
+//	lavaload -trace trace.jsonl -qps 500 -concurrency 8
+//	lavaload -trace trace.jsonl -json BENCH_serving.json     # machine-readable
+//	lavaload -trace trace.jsonl -no-drain                    # leave lavad running
+//
+// Every request carries a sequence number, so the daemon's reorder buffer
+// restores exact event order at any -concurrency: the drain report's
+// metrics are byte-identical to an offline `lavasim` run of the same trace
+// (the parity test in internal/serve asserts this).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"lava/internal/runner"
+	"lava/internal/serve"
+	"lava/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to replay (required)")
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "lavad base URL")
+		qps       = flag.Float64("qps", 0, "request pacing in requests/second (0 = as fast as the daemon accepts)")
+		conc      = flag.Int("concurrency", 8, "in-flight request workers")
+		noDrain   = flag.Bool("no-drain", false, "skip the final /drain so the daemon keeps serving")
+		jsonOut   = flag.String("json", "", "write a BENCH JSON document to this file ('-' for stdout)")
+		timeout   = flag.Duration("timeout", 0, "overall replay deadline (0 = none)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	client := &serve.Client{Base: *addr}
+	rep, err := client.Replay(ctx, tr, serve.ReplayOptions{
+		Concurrency: *conc,
+		QPS:         *qps,
+		SkipDrain:   *noDrain,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := rep.Serving
+	fmt.Printf("replayed %d requests in %.2fs (%.0f req/s, %d workers)\n",
+		rep.Requests, rep.Elapsed.Seconds(), s.QPS, *conc)
+	fmt.Printf("latency: avg %.3fms  p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
+		s.AvgMs, s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs)
+	if rep.Final != nil {
+		m := rep.Final.Metrics
+		fmt.Printf("final: pool %s  policy %s  placements %d  exits %d  failed %d\n",
+			rep.Final.Pool, rep.Final.Policy, m.Placements, m.Exits, m.Failed)
+		fmt.Printf("avg empty hosts: %.2f%%  packing density: %.2f%%  cpu util: %.2f%%\n",
+			100*m.AvgEmptyHostFrac, 100*m.AvgPackingDensity, 100*m.AvgCPUUtil)
+	}
+
+	if *jsonOut != "" {
+		if err := writeBench(*jsonOut, tr, rep, *conc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeBench emits the replay as a one-batch BENCH document: the runner's
+// trajectory format with the serving stats riding on the job result.
+func writeBench(path string, tr *trace.Trace, rep *serve.ReplayReport, workers int) error {
+	jr := runner.JobResult{
+		Name:       tr.PoolName + "/served",
+		ElapsedSec: rep.Elapsed.Seconds(),
+		Serving:    rep.Serving,
+	}
+	if rep.Final != nil {
+		jr.Pool = rep.Final.Pool
+		jr.Policy = rep.Final.Policy
+		jr.Metrics = rep.Final.Metrics
+	}
+	doc := runner.Document{
+		ElapsedSec: rep.Elapsed.Seconds(),
+		Parallel:   workers,
+		Batches: []runner.Summary{
+			runner.Summarize("lavaload/"+tr.PoolName, workers, rep.Elapsed.Seconds(), []runner.JobResult{jr}),
+		},
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return runner.WriteJSON(w, doc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lavaload:", err)
+	os.Exit(1)
+}

@@ -1,13 +1,3 @@
-// Package causal implements a CausalImpact-style pre/post counterfactual
-// analysis (Brodersen et al. 2015), the method behind the paper's Wave-3
-// and E2 whole-pool results (Fig. 7, Table 1).
-//
-// The full Bayesian structural time-series model is replaced by its
-// standard frequentist analogue: an OLS regression of the treated series on
-// a control series plus trend, fitted on the pre-intervention period,
-// predicting the post-period counterfactual. Confidence intervals on the
-// average effect come from a stationary bootstrap of pre-period residuals,
-// which preserves autocorrelation.
 package causal
 
 import (

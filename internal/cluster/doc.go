@@ -1,0 +1,28 @@
+// Package cluster models the physical substrate of the paper's setting
+// (§2.2): pools of identical hosts onto which VMs are packed. It owns all
+// allocation bookkeeping, the per-host LAVA lifetime-class state machine
+// (empty / open / recycling, §4.3), and snapshot/clone support used by the
+// stranding pipeline.
+//
+// # Concurrency contract
+//
+// A Pool — and everything hanging off it: hosts, VMs, the free-capacity
+// index — is NOT safe for concurrent use. The contract is single-writer:
+// exactly one goroutine mutates a pool (through Place/Exit/Migrate, which
+// keep the index consistent), and no other goroutine may even read while
+// it does, since reads traverse the same index the writers rebuild.
+// The code paths honoring this are
+//
+//   - internal/runner: each simulation job owns its pool outright — jobs
+//     share only immutable traces and trained predictors;
+//   - internal/cell: every cell is an independent pool, sharded before any
+//     simulation starts;
+//   - internal/serve: the placement daemon funnels all requests, including
+//     read-only stats/snapshot queries, through a single event-loop
+//     goroutine rather than locking the pool.
+//
+// Pools deliberately carry no internal locking: the hot path (feasibility
+// scans over the capacity index) is the scheduler's inner loop, and the
+// single-writer discipline makes runs deterministic — concurrency changes
+// wall-clock time, never results.
+package cluster

@@ -11,6 +11,9 @@ import (
 // Pool is a set of homogeneous hosts plus the VM placement index. It is the
 // unit of scheduling in the paper (§2.2): each VM family has distinct host
 // pools and the scheduler keeps a global view of one pool.
+//
+// A Pool is not safe for concurrent use; see the package documentation for
+// the single-writer contract and who upholds it.
 type Pool struct {
 	Name  string
 	hosts []*Host // sorted by ID, immutable membership after construction

@@ -1,8 +1,3 @@
-// Package cluster models the physical substrate of the paper's setting
-// (§2.2): pools of identical hosts onto which VMs are packed. It owns all
-// allocation bookkeeping, the per-host LAVA lifetime-class state machine
-// (empty / open / recycling, §4.3), and snapshot/clone support used by the
-// stranding pipeline.
 package cluster
 
 import (

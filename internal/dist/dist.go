@@ -1,9 +1,3 @@
-// Package dist provides empirical lifetime distributions: the CDFs behind
-// the paper's workload characterization (Fig. 1, Fig. 2) and the
-// distribution-table predictor (§2.1). An Empirical distribution answers
-// the conditional-expectation query at the heart of reprediction — "given a
-// VM has been running for Tu, what is the expected remaining lifetime?" —
-// directly from sorted samples, in O(log n) per query.
 package dist
 
 import (

@@ -1,0 +1,6 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§6, appendices). Each experiment is a named runner that
+// produces a typed report and renders the same rows/series the paper
+// reports. DESIGN.md §4 maps experiment IDs to the modules involved;
+// EXPERIMENTS.md records paper-vs-measured values.
+package experiments

@@ -1,0 +1,10 @@
+// Package features defines the VM feature schema of Table 3 (Appendix A)
+// and its encoding into numeric vectors for the lifetime models.
+//
+// Categorical features with high cardinality (zone, shape, category,
+// metadata id, priority) are collapsed: any category with fewer than
+// MinCategoryCount training examples maps to a catch-all "Other" category,
+// exactly as Appendix A describes, and are then target-encoded (replaced by
+// the mean log10 lifetime of their category in the training set) so the
+// regression trees and linear models can split on them numerically.
+package features

@@ -1,15 +1,3 @@
-// Package maintenance models rolling host updates — kernel, microcode and
-// host-OS security patches (§2.3): "By increasing empty hosts, applying the
-// update to empty hosts first, and preferring new VMs land on updated
-// hosts, we speed up maintenance and reduce VM disruptions due to live
-// migrations."
-//
-// The Engine updates empty, not-yet-updated hosts (taking each out of
-// service for the update window), while the PreferUpdated policy wrapper
-// steers new VMs onto already-updated hosts so the remaining hosts drain
-// and become updatable. Rollout velocity is therefore a direct function of
-// empty-host availability — the mechanism by which NILAS/LAVA speed up
-// maintenance.
 package maintenance
 
 import (

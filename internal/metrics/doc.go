@@ -1,0 +1,5 @@
+// Package metrics collects the time-series quality metrics the paper
+// reports: empty-host percentage (the primary metric, §2.3), empty-to-free
+// ratio and packing density (Appendix D), utilization, and scheduling
+// counters.
+package metrics

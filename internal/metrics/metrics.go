@@ -1,7 +1,3 @@
-// Package metrics collects the time-series quality metrics the paper
-// reports: empty-host percentage (the primary metric, §2.3), empty-to-free
-// ratio and packing density (Appendix D), utilization, and scheduling
-// counters.
 package metrics
 
 import (
@@ -11,16 +7,18 @@ import (
 	"lava/internal/cluster"
 )
 
-// Sample is one point-in-time measurement of a pool.
+// Sample is one point-in-time measurement of a pool. The JSON form is the
+// wire shape of the placement server's /snapshot endpoint (internal/serve),
+// so field tags are part of the serving API.
 type Sample struct {
-	Time           time.Duration
-	EmptyHostFrac  float64
-	EmptyToFree    float64
-	PackingDensity float64
-	CPUUtil        float64
-	MemUtil        float64
-	NumVMs         int
-	NumEmptyHosts  int
+	Time           time.Duration `json:"time_ns"`
+	EmptyHostFrac  float64       `json:"empty_host_frac"`
+	EmptyToFree    float64       `json:"empty_to_free"`
+	PackingDensity float64       `json:"packing_density"`
+	CPUUtil        float64       `json:"cpu_util"`
+	MemUtil        float64       `json:"mem_util"`
+	NumVMs         int           `json:"num_vms"`
+	NumEmptyHosts  int           `json:"num_empty_hosts"`
 }
 
 // Snapshot measures the pool at the given time.

@@ -1,0 +1,6 @@
+// Package cox implements the linear Cox proportional-hazards model, one of
+// the Table 4 baselines (the Sksurv "Linear Cox" row). The partial
+// likelihood is maximized by Newton-Raphson with Breslow tie handling, and
+// a Breslow baseline cumulative hazard turns risk scores into survival
+// predictions comparable with the other model families.
+package cox

@@ -1,0 +1,5 @@
+// Package eval scores lifetime models the way the paper does: binary
+// precision/recall/F1 at the 7-day threshold (§3, Table 4), concordance
+// index (Table 4), log10-domain error histograms (Fig. 12, Appendix C), and
+// the F1-versus-uptime-quantile reprediction study (Fig. 9).
+package eval

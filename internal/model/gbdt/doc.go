@@ -1,0 +1,7 @@
+// Package gbdt implements gradient-boosted regression trees from scratch —
+// the model family the paper deploys in production (§3, Appendix B: Yggdrasil
+// GBDT, 2000 trees, max 32 nodes, best-first global growth). Training uses
+// histogram-binned features and variance-reduction splits; inference is a
+// pure tree walk designed to complete in microseconds so it can run inside
+// the scheduler binary (Fig. 8).
+package gbdt

@@ -1,0 +1,5 @@
+// Package km implements the Kaplan-Meier survival estimator and the
+// stratified lookup-table model the paper's team built first (§7: "We
+// started with a lookup table approach where each entry contained a survival
+// curve produced using Kaplan Meier"). It is one of the Table 4 baselines.
+package km

@@ -1,0 +1,5 @@
+// Package mlp implements a small feed-forward neural-network regressor, the
+// "Neural Network regression (Keras)" baseline of Table 4. Training is
+// mini-batch SGD with momentum on mean-squared error; the architecture is a
+// configurable stack of tanh hidden layers with a linear output.
+package mlp

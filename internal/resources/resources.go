@@ -1,8 +1,3 @@
-// Package resources models the multi-dimensional resource vectors that make
-// VM allocation harder than one-dimensional memory allocation (§2.5): every
-// host and VM carries CPU, memory, and SSD dimensions, and stranding occurs
-// when the dimensions are left imbalanced (e.g. free memory but no free
-// CPUs, §2.3).
 package resources
 
 import "fmt"

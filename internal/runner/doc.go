@@ -1,0 +1,14 @@
+// Package runner is the concurrent simulation-batch executor behind every
+// multi-configuration study: the paper's evaluation (§5.1) is a large
+// matrix of pool x policy x seed simulation runs, and runner fans those
+// runs out across a bounded worker pool instead of replaying them one by
+// one.
+//
+// Determinism is the design constraint: a batch's results are a pure
+// function of its jobs, not of scheduling. Each job is a self-contained
+// closure over immutable inputs (traces and trained predictors are
+// read-only; each job constructs its own policy, whose caches are the only
+// mutable state), carries its own seed, and writes only its own result
+// slot, so running with one worker or sixteen produces byte-identical
+// aggregates. Execution order is the only thing that varies.
+package runner

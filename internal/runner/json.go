@@ -79,6 +79,9 @@ func (d *Document) Canonicalize() {
 		d.Batches[i].ElapsedSec = 0
 		for j := range d.Batches[i].Results {
 			d.Batches[i].Results[j].ElapsedSec = 0
+			// Serving latencies are wall-clock measurements, not a function
+			// of (experiments, scale, seed).
+			d.Batches[i].Results[j].Serving = nil
 		}
 	}
 }

@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"sync"
+	"time"
+)
+
+// Latency-histogram geometry: geometric buckets from latBase upward, each
+// latGrowth times wider than the last. 96 buckets at 1.25x growth span
+// 1µs..~2000s, ample for request latencies, at a fixed 768-byte footprint.
+const (
+	latBuckets = 96
+	latGrowth  = 1.25
+	latBase    = time.Microsecond
+)
+
+// latBounds[i] is the exclusive upper bound of bucket i.
+var latBounds = func() [latBuckets]time.Duration {
+	var b [latBuckets]time.Duration
+	f := float64(latBase)
+	for i := range b {
+		f *= latGrowth
+		b[i] = time.Duration(f)
+	}
+	return b
+}()
+
+// LatencyHist is a fixed-size, concurrency-safe latency histogram with
+// geometric buckets. The serving stack shares one implementation: the
+// placement server records per-request processing time into it and the load
+// generator records client-observed round-trip time, so both report
+// percentiles with identical semantics (quantiles resolve to a bucket's
+// upper bound, giving a deterministic, slightly conservative estimate).
+// The zero value is ready to use.
+type LatencyHist struct {
+	mu      sync.Mutex
+	n       int64
+	sum     time.Duration
+	max     time.Duration
+	buckets [latBuckets]int64
+}
+
+// Record adds one observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < latBuckets-1 && d >= latBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the upper bound of the
+// bucket holding that rank, or the exact maximum for the top of the
+// distribution. Returns 0 when nothing was recorded.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *LatencyHist) quantileLocked(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(h.n-1)) + 1 // 1-based rank of the target sample
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			b := latBounds[i]
+			if b > h.max {
+				b = h.max // the last occupied bucket is bounded by the true max
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+// Stats summarizes the histogram as a ServingStats. elapsed is the wall
+// clock the observations were collected over (used for the throughput
+// figure; pass 0 to omit it).
+func (h *LatencyHist) Stats(elapsed time.Duration) *ServingStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &ServingStats{
+		Requests: h.n,
+		P50Ms:    ms(h.quantileLocked(0.50)),
+		P95Ms:    ms(h.quantileLocked(0.95)),
+		P99Ms:    ms(h.quantileLocked(0.99)),
+		MaxMs:    ms(h.max),
+	}
+	if h.n > 0 {
+		s.AvgMs = ms(h.sum) / float64(h.n)
+	}
+	if elapsed > 0 {
+		s.QPS = float64(h.n) / elapsed.Seconds()
+	}
+	return s
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ServingStats is the serializable summary of a request-serving run:
+// throughput plus latency percentiles. It rides in JobResult.Serving so the
+// BENCH_*.json trajectory that already tracks packing quality tracks serving
+// performance with the same tooling.
+type ServingStats struct {
+	Requests int64   `json:"requests"`
+	QPS      float64 `json:"qps,omitempty"`
+	AvgMs    float64 `json:"avg_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}

@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zero")
+	}
+	// 1..1000 ms uniformly: quantiles must land within one geometric
+	// bucket (25%) of the true value.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.95, 950 * time.Millisecond}, {0.99, 990 * time.Millisecond}} {
+		got := h.Quantile(tc.q)
+		if got < tc.want || got > tc.want+tc.want/4 {
+			t.Fatalf("q%.2f = %v, want within [%v, %v]", tc.q, got, tc.want, tc.want+tc.want/4)
+		}
+	}
+	if got := h.Quantile(1); got != time.Second {
+		t.Fatalf("max quantile %v, want the exact maximum", got)
+	}
+	s := h.Stats(10 * time.Second)
+	if s.Requests != 1000 || s.QPS != 100 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.AvgMs < 499 || s.AvgMs > 502 {
+		t.Fatalf("avg %.2fms, want ~500.5ms", s.AvgMs)
+	}
+	if s.MaxMs != 1000 {
+		t.Fatalf("max %.2fms", s.MaxMs)
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, lost updates", h.Count())
+	}
+}

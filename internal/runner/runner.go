@@ -1,16 +1,3 @@
-// Package runner is the concurrent simulation-batch executor behind every
-// multi-configuration study: the paper's evaluation (§5.1) is a large
-// matrix of pool x policy x seed simulation runs, and runner fans those
-// runs out across a bounded worker pool instead of replaying them one by
-// one.
-//
-// Determinism is the design constraint: a batch's results are a pure
-// function of its jobs, not of scheduling. Each job is a self-contained
-// closure over immutable inputs (traces and trained predictors are
-// read-only; each job constructs its own policy, whose caches are the only
-// mutable state), carries its own seed, and writes only its own result
-// slot, so running with one worker or sixteen produces byte-identical
-// aggregates. Execution order is the only thing that varies.
 package runner
 
 import (
@@ -45,6 +32,10 @@ type JobResult struct {
 	Skipped    bool     `json:"skipped,omitempty"` // batch aborted before the job ran
 	Metrics    *Metrics `json:"metrics,omitempty"`
 
+	// Serving carries throughput/latency figures when the job was a
+	// request-serving run (cmd/lavaload) rather than an offline replay.
+	Serving *ServingStats `json:"serving,omitempty"`
+
 	// Result is the full simulation outcome (nil for failed or skipped
 	// jobs). Not serialized; JSON consumers read Metrics.
 	Result *sim.Result `json:"-"`
@@ -63,8 +54,11 @@ type Metrics struct {
 	ModelCalls        int64   `json:"model_calls,omitempty"`
 }
 
-// metricsOf extracts the serializable aggregates from a result.
-func metricsOf(r *sim.Result) *Metrics {
+// MetricsOf extracts the serializable aggregates from a result. It is the
+// one projection from a sim.Result to the BENCH JSON shape; the serving
+// stack uses it so a served replay and an offline one can be compared
+// byte-for-byte.
+func MetricsOf(r *sim.Result) *Metrics {
 	return &Metrics{
 		AvgEmptyHostFrac:  r.AvgEmptyHostFrac,
 		AvgEmptyToFree:    r.AvgEmptyToFree,
@@ -153,7 +147,7 @@ func (b *Batch) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 				jr.Error = "job returned no result"
 			default:
 				jr.Result = res
-				jr.Metrics = metricsOf(res)
+				jr.Metrics = MetricsOf(res)
 				jr.Policy = res.Policy
 				jr.Pool = res.PoolName
 			}

@@ -1,13 +1,3 @@
-// Package scheduler implements a Borg-like VM scheduling framework (§2.2)
-// and the paper's scheduling policies.
-//
-// The framework mirrors Borg's structure: for each VM request it computes
-// the set of feasible hosts, then applies a *lexicographic* chain of scoring
-// functions — one dimension at a time, with ties resolved by the next-lower
-// dimension (§2.2). NILAS inserts its quantized temporal cost one level
-// above the bin packing score (§4.2); LAVA adds a coarse lifetime-class
-// preference one level above NILAS (§4.3); LA-Binary reproduces Barbalho et
-// al.'s one-shot lifetime alignment (§2.4, §5.3).
 package scheduler
 
 import (

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/features"
+	"lava/internal/model"
+)
+
+// memoKey is the full input domain of a feature-pure predictor.
+type memoKey struct {
+	feat   features.Features
+	uptime time.Duration
+}
+
+// MemoPredictor memoizes a model.Predictor on (features, uptime). It is
+// semantically transparent for the learned model families — gbdt, km, dist,
+// mlp, cox predict from exactly that pair — so a memoized server makes
+// byte-identical decisions while skipping the repeated forest/table walks
+// that admission-time predictions of recurring VM shapes would otherwise
+// pay. It must NOT wrap identity-dependent predictors (model.Oracle,
+// model.NoisyOracle), whose output depends on the individual VM.
+//
+// The table is bounded: at MaxEntries it is cleared wholesale, a simple
+// eviction that keeps behaviour deterministic (a cache hit and a recompute
+// return the same value, so eviction timing is invisible to results).
+type MemoPredictor struct {
+	p      model.Predictor
+	max    int
+	mu     sync.Mutex
+	table  map[memoKey]time.Duration
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// DefaultMemoEntries bounds the memo table (~24 MB worst case).
+const DefaultMemoEntries = 1 << 18
+
+// Memoize wraps p. maxEntries <= 0 uses DefaultMemoEntries.
+func Memoize(p model.Predictor, maxEntries int) *MemoPredictor {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMemoEntries
+	}
+	return &MemoPredictor{p: p, max: maxEntries, table: make(map[memoKey]time.Duration)}
+}
+
+// Name implements model.Predictor.
+func (c *MemoPredictor) Name() string { return c.p.Name() + "+memo" }
+
+// PredictRemaining implements model.Predictor.
+func (c *MemoPredictor) PredictRemaining(vm *cluster.VM, uptime time.Duration) time.Duration {
+	k := memoKey{feat: vm.Feat, uptime: uptime}
+	c.mu.Lock()
+	if v, ok := c.table[k]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	v := c.p.PredictRemaining(vm, uptime)
+	c.mu.Lock()
+	if len(c.table) >= c.max {
+		c.table = make(map[memoKey]time.Duration)
+	}
+	c.table[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// MemoStats is the cache-telemetry slice of /stats.
+type MemoStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// Stats reports hit/miss counters and current table size.
+func (c *MemoPredictor) Stats() MemoStats {
+	c.mu.Lock()
+	n := len(c.table)
+	c.mu.Unlock()
+	return MemoStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"lava/internal/runner"
+	"lava/internal/trace"
+)
+
+// Client is a typed HTTP client for the placement API.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON request and decodes the JSON response.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("serve client: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, path, out)
+}
+
+// get fetches and decodes a JSON resource.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, path, out)
+}
+
+func (c *Client) do(req *http.Request, path string, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("serve client: %s: %s (HTTP %d)", path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve client: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve client: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Place submits one placement request.
+func (c *Client) Place(ctx context.Context, req PlaceRequest) (PlaceResponse, error) {
+	var out PlaceResponse
+	err := c.post(ctx, "/place", req, &out)
+	return out, err
+}
+
+// Exit submits one VM exit.
+func (c *Client) Exit(ctx context.Context, req ExitRequest) (ExitResponse, error) {
+	var out ExitResponse
+	err := c.post(ctx, "/exit", req, &out)
+	return out, err
+}
+
+// Tick advances the server's virtual time.
+func (c *Client) Tick(ctx context.Context, req TickRequest) (TickResponse, error) {
+	var out TickResponse
+	err := c.post(ctx, "/tick", req, &out)
+	return out, err
+}
+
+// Stats fetches serving counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.get(ctx, "/stats", &out)
+	return out, err
+}
+
+// Drain finishes the served run and returns the final aggregates.
+func (c *Client) Drain(ctx context.Context) (DrainResponse, error) {
+	var out DrainResponse
+	err := c.post(ctx, "/drain", struct{}{}, &out)
+	return out, err
+}
+
+// ReplayOptions shape a Replay run.
+type ReplayOptions struct {
+	// Concurrency is the number of in-flight request workers (default 1).
+	// Any value produces identical placement decisions: requests carry
+	// sequence numbers and the server's reorder buffer restores event
+	// order.
+	Concurrency int
+
+	// QPS paces request admission (requests per wall-clock second across
+	// all workers); <= 0 replays as fast as the server accepts.
+	QPS float64
+
+	// SkipDrain leaves the server running for further traffic instead of
+	// finishing the replay with /drain.
+	SkipDrain bool
+}
+
+// ReplayReport is the client-side outcome of a replay.
+type ReplayReport struct {
+	Requests int
+	Elapsed  time.Duration
+	// Hist holds client-observed round-trip latencies; Serving is its
+	// summary with achieved throughput.
+	Hist    *runner.LatencyHist
+	Serving *runner.ServingStats
+	// Final is the server's drain report (nil when SkipDrain).
+	Final *DrainResponse
+}
+
+// Replay streams a trace's event stream against the server: every CREATE
+// becomes /place, every EXIT becomes /exit, in the canonical event order
+// and sequence-numbered so the served decisions are byte-identical to an
+// offline sim.Run of the same trace — at any Concurrency. Events past the
+// trace's measurement end are skipped, exactly as offline. Unless
+// SkipDrain is set, the replay finishes with /drain and returns the final
+// aggregates.
+func (c *Client) Replay(ctx context.Context, tr *trace.Trace, opt ReplayOptions) (*ReplayReport, error) {
+	workers := opt.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	end := tr.End()
+	evs := tr.Events()
+	// Events arrive pre-sorted; cut the drain-only tail.
+	n := 0
+	for _, ev := range evs {
+		if ev.Time > end {
+			break
+		}
+		n++
+	}
+	evs = evs[:n]
+
+	var (
+		hist     runner.LatencyHist
+		start    = time.Now()
+		feed     = make(chan int)
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var interval time.Duration
+	if opt.QPS > 0 {
+		interval = time.Duration(float64(time.Second) / opt.QPS)
+	}
+
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				ev := evs[i]
+				seq := uint64(i + 1)
+				if interval > 0 {
+					due := start.Add(time.Duration(i) * interval)
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				reqStart := time.Now()
+				var err error
+				switch ev.Kind {
+				case trace.EventCreate:
+					_, err = c.Place(ctx, PlaceRequest{Seq: seq, At: ev.Time, Record: ev.Rec})
+				case trace.EventExit:
+					_, err = c.Exit(ctx, ExitRequest{Seq: seq, At: ev.Time, ID: ev.Rec.ID})
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				hist.Record(time.Since(reqStart))
+			}
+		}()
+	}
+feed:
+	for i := range evs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(feed)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &ReplayReport{
+		Requests: len(evs),
+		Elapsed:  time.Since(start),
+		Hist:     &hist,
+	}
+	rep.Serving = hist.Stats(rep.Elapsed)
+	if !opt.SkipDrain {
+		final, err := c.Drain(ctx)
+		if err != nil {
+			return nil, err
+		}
+		rep.Final = &final
+	}
+	return rep, nil
+}

@@ -1,0 +1,53 @@
+// Package serve turns the LAVA stack into an online placement service: a
+// long-running daemon (cmd/lavad) that answers VM placement and exit
+// requests over an HTTP JSON API instead of replaying a prerecorded trace
+// offline.
+//
+// # Architecture
+//
+// The server is built around a single-writer event loop over a
+// sim.Machine — the same incremental stepping engine internal/sim's
+// offline Run uses. All pool and policy mutation happens on the loop
+// goroutine; HTTP handlers only build request values, enqueue them on the
+// admission queue, and wait for their response. This preserves
+// cluster.Pool's single-writer concurrency contract without a single lock
+// around the hot path, and it is what makes a served replay byte-identical
+// to an offline simulation: both drive one engine, in one goroutine, in
+// one deterministic order.
+//
+// # Admission batching and determinism
+//
+// The admission queue is a buffered channel. Each loop iteration drains
+// everything currently queued into a batch and orders it canonically —
+// by virtual time, then exits before placements (the trace event-stream
+// convention), then VM ID — so one batch of concurrent requests is
+// processed the same way regardless of goroutine arrival interleaving.
+//
+// Clients that need *global* determinism (the replay client, the parity
+// test) additionally stamp each request with a strictly increasing
+// sequence number. Sequenced requests pass through a reorder buffer: the
+// loop processes seq 1, 2, 3, ... in order no matter how the concurrent
+// HTTP deliveries interleave, so an 8-way concurrent replay of a trace
+// makes exactly the same placement decisions as `lava.Simulate` on that
+// trace.
+//
+// # Prediction memo-cache
+//
+// MemoPredictor wraps a model.Predictor with a (features, uptime) →
+// prediction memo table. Learned model families (gbdt, km, dist, mlp, cox)
+// are pure functions of those two inputs, so memoization is semantically
+// invisible — the parity test runs with the cache enabled to prove it —
+// while collapsing the repeated admission-time predictions of identical
+// VM shapes that dominate serving traffic. Identity-dependent predictors
+// (Oracle, NoisyOracle) must not be memoized.
+//
+// # Drain and snapshot semantics
+//
+// /snapshot reads the pool's current bin-packing metrics without advancing
+// virtual time. /drain performs the graceful shutdown handshake: new
+// mutating requests are rejected with 503, everything already admitted
+// (including buffered sequenced requests) is processed, the machine is
+// advanced to its horizon, and the final post-warm-up aggregates — the
+// exact fields an offline run reports — are computed once and returned.
+// Reads keep working on the frozen pool after the drain.
+package serve

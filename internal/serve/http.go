@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/runner"
+	"lava/internal/trace"
+)
+
+// Wire types. Durations travel as integer nanoseconds (the _ns convention
+// every JSON surface in this repo uses); VM records reuse the trace.Record
+// shape so a trace file line is literally a valid placement payload.
+
+// PlaceRequest asks for one VM placement at virtual time At (times in the
+// past clamp forward to the server's current time, so an omitted At means
+// "now"). Seq > 0 enrolls the request in the strictly ordered stream.
+type PlaceRequest struct {
+	Seq    uint64        `json:"seq,omitempty"`
+	At     time.Duration `json:"at_ns,omitempty"`
+	Record trace.Record  `json:"record"`
+}
+
+// PlaceResponse reports the decision. Placed false with no error means the
+// pool had no feasible host (counted as a failed placement, as offline).
+type PlaceResponse struct {
+	Host   cluster.HostID `json:"host"`
+	Placed bool           `json:"placed"`
+}
+
+// ExitRequest reports that a VM exited at virtual time At.
+type ExitRequest struct {
+	Seq uint64        `json:"seq,omitempty"`
+	At  time.Duration `json:"at_ns"`
+	ID  cluster.VMID  `json:"id"`
+}
+
+// ExitResponse reports whether the VM was actually running.
+type ExitResponse struct {
+	Removed bool `json:"removed"`
+}
+
+// TickRequest advances virtual time without an event.
+type TickRequest struct {
+	Seq uint64        `json:"seq,omitempty"`
+	At  time.Duration `json:"at_ns"`
+}
+
+// TickResponse reports the time reached.
+type TickResponse struct {
+	Now time.Duration `json:"now_ns"`
+}
+
+// DrainResponse is the final report of a served run: the identity of the
+// run plus the exact aggregate metrics an offline replay of the same event
+// stream produces.
+type DrainResponse struct {
+	Pool      string          `json:"pool"`
+	Policy    string          `json:"policy"`
+	Metrics   *runner.Metrics `json:"metrics"`
+	SeriesLen int             `json:"series_len"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /place    PlaceRequest  -> PlaceResponse
+//	POST /exit     ExitRequest   -> ExitResponse
+//	POST /tick     TickRequest   -> TickResponse
+//	GET  /stats                  -> Stats
+//	GET  /snapshot               -> metrics.Sample
+//	POST /drain                  -> DrainResponse
+//
+// Errors come back as {"error": "..."} with 400 for malformed payloads,
+// 405 for wrong methods, 409 for sequencing conflicts, and 503 once the
+// server is draining or closed.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/place", s.handlePlace)
+	mux.HandleFunc("/exit", s.handleExit)
+	mux.HandleFunc("/tick", s.handleTick)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/drain", s.handleDrain)
+	return mux
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req PlaceRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	host, placed, err := s.Place(req.Record, req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, PlaceResponse{Host: host, Placed: placed})
+}
+
+func (s *Server) handleExit(w http.ResponseWriter, r *http.Request) {
+	var req ExitRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	removed, err := s.ExitVM(req.ID, req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, ExitResponse{Removed: removed})
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	var req TickRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	now, err := s.Tick(req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, TickResponse{Now: now})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodErr(w)
+		return
+	}
+	st, err := s.Stats()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodErr(w)
+		return
+	}
+	sample, err := s.Snapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, sample)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodErr(w)
+		return
+	}
+	res, err := s.Drain()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, DrainResponse{
+		Pool:      res.PoolName,
+		Policy:    res.Policy,
+		Metrics:   runner.MetricsOf(res),
+		SeriesLen: res.Series.Len(),
+	})
+}
+
+// decode enforces the method and parses the JSON body.
+func decode(w http.ResponseWriter, r *http.Request, method string, into any) bool {
+	if r.Method != method {
+		methodErr(w)
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeStatus(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func methodErr(w http.ResponseWriter) {
+	writeStatus(w, http.StatusMethodNotAllowed, errors.New("serve: method not allowed"))
+}
+
+// writeErr maps server errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		writeStatus(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errStaleSeq), errors.Is(err, errDupSeq):
+		writeStatus(w, http.StatusConflict, err)
+	default:
+		writeStatus(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeStatus(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/model"
+	"lava/internal/resources"
+	"lava/internal/runner"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+// smallTrace generates a quick production-like trace.
+func smallTrace(t *testing.T, hosts, days int, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: "serve-test", Zone: "z1", Hosts: hosts, TargetUtil: 0.6,
+		Duration: time.Duration(days) * simtime.Day, Prefill: 2 * simtime.Day,
+		Seed: seed, Diurnal: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestServedReplayParity is the headline contract: replaying a trace
+// through the HTTP API with concurrent, sequence-numbered clients produces
+// final aggregates byte-identical to offline sim.Run on the same trace —
+// with the prediction memo-cache enabled, proving it semantically inert.
+func TestServedReplayParity(t *testing.T) {
+	tr := smallTrace(t, 16, 3, 7)
+	pred, err := model.TrainDistTable(tr.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offline, err := sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewLAVA(pred, time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(runner.MetricsOf(offline))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo := Memoize(pred, 0)
+	cfg := FromTrace(tr)
+	cfg.Policy = scheduler.NewLAVA(memo, time.Minute)
+	cfg.Memo = memo
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	client := &Client{Base: hs.URL}
+	rep, err := client.Replay(context.Background(), tr, ReplayOptions{Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(rep.Final.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served replay diverged from offline run:\nserved:  %s\noffline: %s", got, want)
+	}
+	if rep.Final.SeriesLen != offline.Series.Len() {
+		t.Fatalf("series length %d != offline %d", rep.Final.SeriesLen, offline.Series.Len())
+	}
+	if rep.Serving == nil || rep.Serving.Requests == 0 {
+		t.Fatal("replay reported no latency observations")
+	}
+	ms := memo.Stats()
+	if ms.Hits == 0 {
+		t.Fatalf("memo cache saw no hits: %+v", ms)
+	}
+}
+
+// TestSequencedAdmissionOrder floods the server with sequence-numbered
+// placements from shuffled concurrent goroutines; every VM fills a whole
+// host, so host IDs expose processing order: VM with seq i must land on
+// host i-1 under best-fit regardless of arrival interleaving.
+func TestSequencedAdmissionOrder(t *testing.T) {
+	const n = 24
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 10}
+	s, err := New(Config{
+		PoolName:  "order",
+		Hosts:     n,
+		HostShape: shape,
+		Policy:    scheduler.NewBestFit(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	order := rand.New(rand.NewSource(1)).Perm(n)
+	var wg sync.WaitGroup
+	hosts := make([]cluster.HostID, n)
+	for _, idx := range order {
+		idx := idx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := trace.Record{
+				ID:       cluster.VMID(idx + 1),
+				Arrival:  time.Duration(idx) * time.Second,
+				Lifetime: time.Hour,
+				Shape:    shape,
+			}
+			h, placed, err := s.Place(rec, rec.Arrival, uint64(idx+1))
+			if err != nil || !placed {
+				t.Errorf("place %d: placed=%v err=%v", idx, placed, err)
+				return
+			}
+			hosts[idx] = h
+		}()
+	}
+	wg.Wait()
+	for i, h := range hosts {
+		if h != cluster.HostID(i) {
+			t.Fatalf("seq %d placed on host %d; admission order not sequential", i+1, h)
+		}
+	}
+}
+
+// TestOrderBatch pins the canonical in-batch ordering: reads first, then
+// time-ordered events with exits before placements, ties broken by VM ID,
+// drains last.
+func TestOrderBatch(t *testing.T) {
+	mk := func(kind reqKind, at time.Duration, id cluster.VMID) *request {
+		r := newRequest(kind)
+		r.at = at
+		if kind == reqExit {
+			r.id = id
+		} else {
+			r.rec.ID = id
+		}
+		return r
+	}
+	batch := []*request{
+		mk(reqPlace, 5, 2),
+		mk(reqDrain, 0, 0),
+		mk(reqPlace, 5, 1),
+		mk(reqExit, 5, 9),
+		mk(reqStats, 0, 0),
+		mk(reqTick, 3, 0),
+	}
+	orderBatch(batch)
+	wantKinds := []reqKind{reqStats, reqTick, reqExit, reqPlace, reqPlace, reqDrain}
+	for i, k := range wantKinds {
+		if batch[i].kind != k {
+			t.Fatalf("position %d: got kind %d want %d", i, batch[i].kind, k)
+		}
+	}
+	if batch[3].rec.ID != 1 || batch[4].rec.ID != 2 {
+		t.Fatalf("equal-time placements not ID-ordered: %d then %d", batch[3].rec.ID, batch[4].rec.ID)
+	}
+}
+
+// TestHandlers is the API table test: methods, payloads, and status codes.
+func TestHandlers(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 4000, MemoryMB: 8192, SSDGB: 100}
+	s, err := New(Config{PoolName: "api", Hosts: 4, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	place := `{"record":{"id":1,"arrival_ns":1000000000,"lifetime_ns":3600000000000,` +
+		`"shape":{"CPUMilli":1000,"MemoryMB":1024,"SSDGB":0},"features":{}}}`
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		expect string // substring of the response body
+	}{
+		{"place ok", "POST", "/place", place, 200, `"placed":true`},
+		{"place wrong method", "GET", "/place", "", 405, "method not allowed"},
+		{"place bad json", "POST", "/place", "{nope", 400, "bad request body"},
+		{"place unknown field", "POST", "/place", `{"bogus":1}`, 400, "bad request body"},
+		{"exit running vm", "POST", "/exit", `{"at_ns":2000000000,"id":1}`, 200, `"removed":true`},
+		{"exit unknown vm", "POST", "/exit", `{"at_ns":3000000000,"id":99}`, 200, `"removed":false`},
+		{"tick", "POST", "/tick", `{"at_ns":7200000000000}`, 200, `"now_ns":7200000000000`},
+		{"stats", "GET", "/stats", "", 200, `"pool":"api"`},
+		{"stats wrong method", "POST", "/stats", "{}", 405, "method not allowed"},
+		{"snapshot", "GET", "/snapshot", "", 200, `"empty_host_frac"`},
+		{"drain", "POST", "/drain", "{}", 200, `"metrics"`},
+		{"place after drain", "POST", "/place", place, 503, "draining"},
+		{"drain idempotent", "POST", "/drain", "{}", 200, `"metrics"`},
+		{"stats after drain", "GET", "/stats", "", 200, `"draining":true`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, hs.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d want %d (body %s)", resp.StatusCode, tc.status, buf.String())
+			}
+			if !bytes.Contains(buf.Bytes(), []byte(tc.expect)) {
+				t.Fatalf("body %q missing %q", buf.String(), tc.expect)
+			}
+		})
+	}
+}
+
+// TestSequenceConflicts verifies the 409 mapping for stale and duplicate
+// sequence numbers.
+func TestSequenceConflicts(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 0}
+	s, err := New(Config{PoolName: "seq", Hosts: 2, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rec := trace.Record{ID: 1, Lifetime: time.Hour, Shape: shape}
+	if _, _, err := s.Place(rec, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rec.ID = 2
+	if _, _, err := s.Place(rec, time.Second, 1); err == nil {
+		t.Fatal("reused sequence number must be rejected")
+	}
+}
+
+// TestDrainFlushesPendingSequences checks that a drain processes buffered
+// out-of-order sequenced requests (in seq order) rather than abandoning
+// their clients.
+func TestDrainFlushesPendingSequences(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 0}
+	s, err := New(Config{PoolName: "flush", Hosts: 4, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// seq 2 arrives without seq 1: it parks in the reorder buffer.
+	done := make(chan error, 1)
+	go func() {
+		rec := trace.Record{ID: 2, Lifetime: time.Hour, Shape: shape}
+		_, _, err := s.Place(rec, time.Second, 2)
+		done <- err
+	}()
+	// Wait until the request is parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Pending == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sequenced request never parked in the reorder buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("parked request not flushed by drain: %v", err)
+	}
+	if res.Placements != 1 {
+		t.Fatalf("drain result has %d placements, want the flushed one", res.Placements)
+	}
+	// New mutating work is refused; reads still serve.
+	if _, _, err := s.Place(trace.Record{ID: 3, Lifetime: time.Hour, Shape: shape}, 0, 0); err == nil {
+		t.Fatal("post-drain placement must be refused")
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("post-drain snapshot failed: %v", err)
+	}
+}
+
+// TestSequencedRequestAfterDrainRejected covers the drain race: a
+// sequenced request that slipped past the handler's draining check and
+// reaches the loop after the drain completed must be answered with
+// ErrDraining, not parked in the reorder buffer forever.
+func TestSequencedRequestAfterDrainRejected(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 0}
+	s, err := New(Config{PoolName: "race", Hosts: 2, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Bypass submit()'s draining fast-path to model the race where the
+	// request was enqueued concurrently with the drain.
+	r := newRequest(reqPlace)
+	r.rec = trace.Record{ID: 7, Lifetime: time.Hour, Shape: shape}
+	r.seq = 9 // a gap: nothing could ever release it
+	s.reqs <- r
+	select {
+	case resp := <-r.resp:
+		if resp.err == nil {
+			t.Fatal("post-drain sequenced request succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-drain sequenced request parked forever")
+	}
+}
+
+// TestCloseUnblocksClients verifies that Close answers in-flight waiters
+// instead of leaking them.
+func TestCloseUnblocksClients(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 0}
+	s, err := New(Config{PoolName: "close", Hosts: 2, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// seq 5 with no predecessors parks forever — until Close.
+		_, _, err := s.Place(trace.Record{ID: 1, Lifetime: time.Hour, Shape: shape}, 0, 5)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("parked client got a success response from Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close leaked a parked client")
+	}
+	if _, _, err := s.Place(trace.Record{ID: 2, Lifetime: time.Hour, Shape: shape}, 0, 0); err == nil {
+		t.Fatal("closed server accepted work")
+	}
+}
+
+// TestMemoPredictorTransparent checks hit accounting and value equality
+// against the raw predictor.
+func TestMemoPredictorTransparent(t *testing.T) {
+	tr := smallTrace(t, 8, 2, 3)
+	raw, err := model.TrainDistTable(tr.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := Memoize(raw, 0)
+	for pass := 0; pass < 2; pass++ {
+		for i := range tr.Records {
+			rec := &tr.Records[i]
+			vm := &cluster.VM{ID: rec.ID, Shape: rec.Shape, Feat: rec.Feat, TrueLifetime: rec.Lifetime}
+			for _, up := range []time.Duration{0, time.Hour} {
+				if got, want := memo.PredictRemaining(vm, up), raw.PredictRemaining(vm, up); got != want {
+					t.Fatalf("memoized prediction %v != raw %v", got, want)
+				}
+			}
+		}
+	}
+	st := memo.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("degenerate memo stats: %+v", st)
+	}
+}
+
+// TestSnapshotDoesNotAdvanceTime pins /snapshot's read-only semantics.
+func TestSnapshotDoesNotAdvanceTime(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 0}
+	s, err := New(Config{PoolName: "snap", Hosts: 2, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Tick(2*time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	sample, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Time != 2*time.Hour {
+		t.Fatalf("snapshot at %v, want the ticked time", sample.Time)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NowNS != 2*time.Hour {
+		t.Fatalf("snapshot advanced time to %v", st.NowNS)
+	}
+}

@@ -1,0 +1,6 @@
+// Package sim is the event-driven simulator of §5.1: it replays a trace of
+// VM start and exit events against a simulated pool driven by a real
+// scheduling policy, samples bin-packing metrics over time, and supports
+// pluggable components (defragmentation engines, stranding probes) that run
+// on the periodic tick.
+package sim

@@ -1,8 +1,3 @@
-// Package sim is the event-driven simulator of §5.1: it replays a trace of
-// VM start and exit events against a simulated pool driven by a real
-// scheduling policy, samples bin-packing metrics over time, and supports
-// pluggable components (defragmentation engines, stranding probes) that run
-// on the periodic tick.
 package sim
 
 import (
@@ -174,8 +169,41 @@ type Result struct {
 // modelCaller is implemented by policies that expose model telemetry.
 type modelCaller interface{ ModelCalls() int64 }
 
-// Run replays the trace against the policy.
-func Run(cfg Config) (*Result, error) {
+// ErrFinished is returned by Machine mutation methods after Finish: a
+// finished machine's aggregates are frozen and must not drift from the pool
+// state that produced them.
+var ErrFinished = errors.New("sim: machine already finished")
+
+// Machine is the incremental form of Run: the same replay engine, exposed
+// one event at a time so callers that do not hold a complete trace up front
+// — the online placement server in internal/serve — can drive it. Run is a
+// thin loop over a Machine, which is what makes a served replay byte-
+// identical to an offline one: there is only one stepping engine.
+//
+// The caller feeds events in nondecreasing virtual-time order (times that
+// run backwards are clamped to the current time); samples and policy/
+// component/injector ticks fire lazily inside Advance exactly as they do in
+// Run. A Machine is not safe for concurrent use — it assumes a single
+// driving goroutine, the same single-writer discipline cluster.Pool
+// requires.
+type Machine struct {
+	cfg  Config
+	pool *cluster.Pool
+	res  *Result
+	ctl  *Control
+
+	now        time.Duration
+	end        time.Duration
+	nextSample time.Duration
+	nextTick   time.Duration
+	finished   bool
+}
+
+// NewMachine validates the configuration and builds a machine positioned at
+// time zero. Config.Trace supplies the pool geometry (name, hosts, host
+// shape), the warm-up prefix and the measurement horizon; its Records may be
+// empty when the caller feeds events itself.
+func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Trace == nil || cfg.Policy == nil {
 		return nil, errors.New("sim: trace and policy are required")
 	}
@@ -187,6 +215,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.TickEvery == 0 {
 		cfg.TickEvery = 5 * time.Minute
+	}
+	if cfg.SampleEvery < 0 || cfg.TickEvery < 0 {
+		// A negative period would fire its branch of the advance loop
+		// forever: the next-due time only moves backwards.
+		return nil, errors.New("sim: SampleEvery and TickEvery must be positive")
 	}
 	if cfg.WarmUp == 0 {
 		// Default to the trace's own warm-up prefix (Appendix F).
@@ -200,97 +233,177 @@ func Run(cfg Config) (*Result, error) {
 		Series:   &metrics.Series{},
 		WarmUp:   cfg.WarmUp,
 	}
+	return &Machine{
+		cfg:  cfg,
+		pool: pool,
+		res:  res,
+		ctl:  NewControl(pool, cfg.Policy, res),
+		// Measure until the arrival horizon: past it the pool only drains,
+		// which says nothing about steady-state packing quality.
+		end:      cfg.Trace.End(),
+		nextTick: cfg.TickEvery,
+	}, nil
+}
 
-	evs := cfg.Trace.Events()
-	// Measure until the arrival horizon: past it the pool only drains,
-	// which says nothing about steady-state packing quality.
-	end := cfg.Trace.End()
+// Pool returns the pool under simulation. Reads are free; mutation must go
+// through Create/Exit (or Control, for injectors).
+func (m *Machine) Pool() *cluster.Pool { return m.pool }
 
-	ctl := NewControl(pool, cfg.Policy, res)
+// Now returns the current virtual time (the largest time advanced to).
+func (m *Machine) Now() time.Duration { return m.now }
 
-	nextSample := time.Duration(0)
-	nextTick := cfg.TickEvery
+// End returns the measurement horizon: Finish advances to it, and Run stops
+// replaying events past it.
+func (m *Machine) End() time.Duration { return m.end }
 
-	advance := func(to time.Duration) error {
-		for nextSample <= to || nextTick <= to {
-			if nextSample <= nextTick {
-				if err := res.Series.Add(metrics.Snapshot(pool, nextSample)); err != nil {
-					return err
-				}
-				if cfg.CheckInvariants {
-					if err := pool.CheckInvariants(); err != nil {
-						return fmt.Errorf("sim: at %v: %w", nextSample, err)
-					}
-				}
-				nextSample += cfg.SampleEvery
-			} else {
-				for _, in := range cfg.Injectors {
-					in.Inject(ctl, nextTick)
-				}
-				cfg.Policy.OnTick(pool, nextTick)
-				for _, c := range cfg.Components {
-					c.Tick(pool, nextTick)
-				}
-				nextTick += cfg.TickEvery
-			}
-		}
+// Counts reports the live placement/exit/capacity-failure counters, valid
+// before and after Finish.
+func (m *Machine) Counts() (placements, exits, failed int) {
+	return m.res.Placements, m.res.Exits, m.res.Failed
+}
+
+// Advance moves virtual time forward to t, firing every due metric sample
+// and injector/policy/component tick on the way (samples win ties, exactly
+// as in Run). Times at or before the current time are a no-op.
+func (m *Machine) Advance(t time.Duration) error {
+	if m.finished {
+		return ErrFinished
+	}
+	if t < m.now {
 		return nil
 	}
-
-	for _, ev := range evs {
-		if ev.Time > end {
-			break // drain-only tail: stop measuring
+	for m.nextSample <= t || m.nextTick <= t {
+		if m.nextSample <= m.nextTick {
+			if err := m.res.Series.Add(metrics.Snapshot(m.pool, m.nextSample)); err != nil {
+				return err
+			}
+			if m.cfg.CheckInvariants {
+				if err := m.pool.CheckInvariants(); err != nil {
+					return fmt.Errorf("sim: at %v: %w", m.nextSample, err)
+				}
+			}
+			m.nextSample += m.cfg.SampleEvery
+		} else {
+			for _, in := range m.cfg.Injectors {
+				in.Inject(m.ctl, m.nextTick)
+			}
+			m.cfg.Policy.OnTick(m.pool, m.nextTick)
+			for _, c := range m.cfg.Components {
+				c.Tick(m.pool, m.nextTick)
+			}
+			m.nextTick += m.cfg.TickEvery
 		}
-		if err := advance(ev.Time); err != nil {
-			return nil, err
+	}
+	m.now = t
+	return nil
+}
+
+// Create advances to at and schedules a VM for the record. It returns the
+// chosen host, or (nil, nil) when no feasible host exists (counted in
+// Result.Failed, as in Run). Any other scheduling or placement error is
+// fatal to the run.
+func (m *Machine) Create(rec trace.Record, at time.Duration) (*cluster.Host, error) {
+	if m.finished {
+		return nil, ErrFinished
+	}
+	if at < m.now {
+		at = m.now
+	}
+	if err := m.Advance(at); err != nil {
+		return nil, err
+	}
+	vm := &cluster.VM{
+		ID:           rec.ID,
+		Shape:        rec.Shape,
+		Feat:         rec.Feat,
+		Created:      at,
+		TrueLifetime: rec.Lifetime,
+	}
+	h, err := m.cfg.Policy.Schedule(m.pool, vm, at)
+	if err != nil {
+		if errors.Is(err, scheduler.ErrNoCapacity) {
+			m.res.Failed++
+			return nil, nil
+		}
+		return nil, err
+	}
+	if err := m.pool.Place(vm, h); err != nil {
+		return nil, fmt.Errorf("sim: place vm %d: %w", vm.ID, err)
+	}
+	m.cfg.Policy.OnPlaced(m.pool, h, vm, at)
+	m.res.Placements++
+	return h, nil
+}
+
+// Exit advances to at and removes the VM, notifying the policy. It returns
+// false for VMs not currently running (never scheduled, already exited, or
+// killed by an injector) — the same silent skip Run applies to the EXIT
+// events of capacity-failed VMs.
+func (m *Machine) Exit(id cluster.VMID, at time.Duration) (bool, error) {
+	if m.finished {
+		return false, ErrFinished
+	}
+	if at < m.now {
+		at = m.now
+	}
+	if err := m.Advance(at); err != nil {
+		return false, err
+	}
+	if m.pool.HostOf(id) == nil {
+		return false, nil // was never scheduled (capacity failure)
+	}
+	h, vm, err := m.pool.Exit(id)
+	if err != nil {
+		return false, fmt.Errorf("sim: exit vm %d: %w", id, err)
+	}
+	m.cfg.Policy.OnExited(m.pool, h, vm, at)
+	m.res.Exits++
+	return true, nil
+}
+
+// Finish advances to the measurement horizon, computes the post-warm-up
+// aggregates, and freezes the machine: further Advance/Create/Exit calls
+// return ErrFinished, and repeated Finish calls return the same Result.
+func (m *Machine) Finish() (*Result, error) {
+	if m.finished {
+		return m.res, nil
+	}
+	if err := m.Advance(m.end); err != nil {
+		return nil, err
+	}
+	steady := m.res.Series.After(m.cfg.WarmUp)
+	m.res.AvgEmptyHostFrac = steady.Mean(metrics.EmptyHostFrac)
+	m.res.AvgEmptyToFree = steady.Mean(metrics.EmptyToFree)
+	m.res.AvgPackingDensity = steady.Mean(metrics.PackingDensity)
+	m.res.AvgCPUUtil = steady.Mean(metrics.CPUUtil)
+	if mc, ok := m.cfg.Policy.(modelCaller); ok {
+		m.res.ModelCalls = mc.ModelCalls()
+	}
+	m.res.FinalPool = m.pool
+	m.finished = true
+	return m.res, nil
+}
+
+// Run replays the trace against the policy.
+func Run(cfg Config) (*Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range cfg.Trace.Events() {
+		if ev.Time > m.end {
+			break // drain-only tail: stop measuring
 		}
 		switch ev.Kind {
 		case trace.EventCreate:
-			vm := &cluster.VM{
-				ID:           ev.Rec.ID,
-				Shape:        ev.Rec.Shape,
-				Feat:         ev.Rec.Feat,
-				Created:      ev.Time,
-				TrueLifetime: ev.Rec.Lifetime,
-			}
-			h, err := cfg.Policy.Schedule(pool, vm, ev.Time)
-			if err != nil {
-				if errors.Is(err, scheduler.ErrNoCapacity) {
-					res.Failed++
-					continue
-				}
+			if _, err := m.Create(ev.Rec, ev.Time); err != nil {
 				return nil, err
 			}
-			if err := pool.Place(vm, h); err != nil {
-				return nil, fmt.Errorf("sim: place vm %d: %w", vm.ID, err)
-			}
-			cfg.Policy.OnPlaced(pool, h, vm, ev.Time)
-			res.Placements++
-
 		case trace.EventExit:
-			if pool.HostOf(ev.Rec.ID) == nil {
-				continue // was never scheduled (capacity failure)
+			if _, err := m.Exit(ev.Rec.ID, ev.Time); err != nil {
+				return nil, err
 			}
-			h, vm, err := pool.Exit(ev.Rec.ID)
-			if err != nil {
-				return nil, fmt.Errorf("sim: exit vm %d: %w", ev.Rec.ID, err)
-			}
-			cfg.Policy.OnExited(pool, h, vm, ev.Time)
-			res.Exits++
 		}
 	}
-	if err := advance(end); err != nil {
-		return nil, err
-	}
-
-	steady := res.Series.After(cfg.WarmUp)
-	res.AvgEmptyHostFrac = steady.Mean(metrics.EmptyHostFrac)
-	res.AvgEmptyToFree = steady.Mean(metrics.EmptyToFree)
-	res.AvgPackingDensity = steady.Mean(metrics.PackingDensity)
-	res.AvgCPUUtil = steady.Mean(metrics.CPUUtil)
-	if mc, ok := cfg.Policy.(modelCaller); ok {
-		res.ModelCalls = mc.ModelCalls()
-	}
-	res.FinalPool = pool
-	return res, nil
+	return m.Finish()
 }

@@ -239,3 +239,15 @@ func TestWarmUpExcludedFromAggregates(t *testing.T) {
 	}
 	_ = metrics.EmptyHostFrac
 }
+
+func TestNewMachineRejectsNegativePeriods(t *testing.T) {
+	tr := smallTrace(t, 2, 0.5, 9)
+	for _, cfg := range []Config{
+		{Trace: tr, Policy: scheduler.NewWasteMin(), TickEvery: -time.Second},
+		{Trace: tr, Policy: scheduler.NewWasteMin(), SampleEvery: -time.Hour},
+	} {
+		if _, err := NewMachine(cfg); err == nil {
+			t.Fatalf("negative period accepted: %+v", cfg)
+		}
+	}
+}

@@ -1,7 +1,3 @@
-// Package stranding implements the inflation-simulation stranding metric of
-// §2.3: "take a representative mix of VMs and simulate scheduling as many as
-// possible until capacity is exhausted. The remaining resources on hosts
-// represent stranded resources that cannot fit new VMs."
 package stranding
 
 import (

@@ -1,8 +1,3 @@
-// Package trace defines the VM trace format the simulator replays (§5.1:
-// "We extract production traces of VM start, exit, and restart events ...
-// and then replay this trace against a simulated instance of the
-// scheduler"). A trace is a list of VM records (arrival, lifetime, shape,
-// features); the event stream (CREATE/EXIT) is derived deterministically.
 package trace
 
 import (

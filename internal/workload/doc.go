@@ -1,0 +1,16 @@
+// Package workload generates synthetic production-like VM traces.
+//
+// Google's production traces are proprietary, so this package substitutes a
+// statistically matched generator (see DESIGN.md §1). It reproduces the
+// published structure the algorithms depend on:
+//
+//   - the generational skew of Fig. 1 (≈88% of VMs live under an hour while
+//     ≈98% of core-hours come from VMs of one hour or more),
+//   - multi-modal lifetime laws per VM type, so that some VMs are
+//     fundamentally unpredictable from features alone (Fig. 2, §3),
+//   - feature→lifetime correlation (admission-policy VMs are long-lived,
+//     spot/batch VMs short-lived) matching the importance ranking of
+//     Fig. 11, and
+//   - Poisson arrivals with diurnal modulation at a rate calibrated to a
+//     target steady-state pool utilization.
+package workload

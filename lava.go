@@ -21,6 +21,7 @@ package lava
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"time"
 
 	"lava/internal/cell"
@@ -29,6 +30,7 @@ import (
 	"lava/internal/runner"
 	"lava/internal/scenario"
 	"lava/internal/scheduler"
+	"lava/internal/serve"
 	"lava/internal/sim"
 	"lava/internal/simtime"
 	"lava/internal/trace"
@@ -317,6 +319,117 @@ func SimulateScenario(ctx context.Context, tr *Trace, kind PolicyKind, pred Pred
 		sims[i] = results[i].Result
 	}
 	return cell.RollUp(plan.Router, plan.Hosts, sims)
+}
+
+// ServeConfig shapes NewServer and Serve.
+type ServeConfig struct {
+	// Policy is the serving policy (default PolicyLAVA).
+	Policy PolicyKind
+
+	// Pred is the lifetime model behind lifetime-aware policies; nil is
+	// fine for PolicyWasteMin/PolicyBestFit.
+	Pred Predictor
+
+	// Memo interposes a (features, uptime) memo-cache in front of Pred.
+	// Only correct for feature-pure model families (gbdt, km, dist, mlp,
+	// cox) — leave it off for ModelOracle, whose predictions depend on the
+	// individual VM. Memoization never changes decisions, only their cost.
+	Memo bool
+
+	// CacheRefresh is the host-score cache refresh interval, with
+	// ScenarioConfig's convention: 0 = default (1 minute), negative =
+	// disabled.
+	CacheRefresh time.Duration
+
+	// TickEvery/SampleEvery default to the simulator's 5m / 1h.
+	TickEvery   time.Duration
+	SampleEvery time.Duration
+
+	// QueueDepth bounds the admission queue (default 256).
+	QueueDepth int
+}
+
+// NewServer builds an online placement server (internal/serve) over the
+// trace's pool geometry: the daemon form of Simulate. The trace's records
+// are not replayed — clients drive placements over the HTTP API
+// (Server.Handler) or the typed methods; replaying the same trace through
+// serve.Client.Replay reproduces Simulate's result byte-for-byte.
+func NewServer(tr *Trace, cfg ServeConfig) (*serve.Server, error) {
+	kind := cfg.Policy
+	if kind == "" {
+		kind = PolicyLAVA
+	}
+	pred := cfg.Pred
+	var memo *serve.MemoPredictor
+	if cfg.Memo && pred != nil {
+		memo = serve.Memoize(pred, 0)
+		pred = memo
+	}
+	refresh := cfg.CacheRefresh
+	switch {
+	case refresh == 0:
+		refresh = time.Minute
+	case refresh < 0:
+		refresh = 0
+	}
+	pol, err := newPolicy(kind, pred, refresh)
+	if err != nil {
+		return nil, err
+	}
+	sc := serve.FromTrace(tr)
+	sc.Policy = pol
+	sc.TickEvery = cfg.TickEvery
+	sc.SampleEvery = cfg.SampleEvery
+	sc.QueueDepth = cfg.QueueDepth
+	sc.Memo = memo
+	return serve.New(sc)
+}
+
+// Serve runs a placement server on addr until ctx is cancelled, then shuts
+// the listener down gracefully and stops the event loop. It blocks for the
+// server's lifetime; the error is http.ErrServerClosed-free (a clean
+// shutdown returns nil).
+func Serve(ctx context.Context, addr string, tr *Trace, cfg ServeConfig) error {
+	srv, err := NewServer(tr, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		return nil
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}
+
+// ReplayOptions shapes ReplayTrace. The zero value replays serially, as
+// fast as the server accepts, and drains at the end.
+type ReplayOptions = serve.ReplayOptions
+
+// ReplayReport is the outcome of ReplayTrace: request count, wall time,
+// client-observed latency summary, and (unless SkipDrain) the server's
+// final aggregates.
+type ReplayReport = serve.ReplayReport
+
+// ReplayTrace replays the trace's event stream against a placement server
+// at baseURL (e.g. "http://127.0.0.1:8080"): the library form of
+// cmd/lavaload. Requests are sequence-numbered, so the served decisions
+// match an offline Simulate of the same trace byte-for-byte at any
+// concurrency.
+func ReplayTrace(ctx context.Context, baseURL string, tr *Trace, opt ReplayOptions) (*ReplayReport, error) {
+	return (&serve.Client{Base: baseURL}).Replay(ctx, tr, opt)
 }
 
 // Compare runs several policies on the same trace and returns results keyed
