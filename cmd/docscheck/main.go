@@ -5,6 +5,11 @@
 // ST1000, extended to main packages, so `go doc` always has something to
 // say about every layer.
 //
+// The public `lava` facade (the root package) is held to a stricter bar:
+// every exported identifier — functions, methods on exported types, types,
+// and each exported const/var (or its declaration group) — must carry a doc
+// comment, so the quickstart surface godoc users see is fully documented.
+//
 // Usage:
 //
 //	docscheck [root]    # root defaults to "."
@@ -12,6 +17,7 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -77,7 +83,103 @@ func main() {
 	for _, dir := range missing {
 		fmt.Printf("%s: package has no package comment (add a doc.go)\n", dir)
 	}
-	if len(missing) > 0 {
+
+	// Stricter facade gate: every exported identifier of the root package
+	// must be documented.
+	facade := facadeDocGaps(fset, dirs[cleanDir(root)])
+	for _, gap := range facade {
+		fmt.Println(gap)
+	}
+	if len(missing) > 0 || len(facade) > 0 {
 		os.Exit(1)
+	}
+}
+
+// cleanDir normalizes the root the same way filepath.Dir does for the files
+// collected under it ("." for files in the root itself).
+func cleanDir(root string) string {
+	return filepath.Clean(root)
+}
+
+// facadeDocGaps parses the facade package's files and returns one complaint
+// per undocumented exported identifier, sorted by position.
+func facadeDocGaps(fset *token.FileSet, files []string) []string {
+	type gap struct {
+		file string
+		line int
+		msg  string
+	}
+	var found []gap
+	complain := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		found = append(found, gap{p.Filename, p.Line,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name)})
+	}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", f, err)
+			os.Exit(2)
+		}
+		for _, decl := range af.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+					complain(d.Pos(), "function", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && (s.Doc == nil || strings.TrimSpace(s.Doc.Text()) == "") {
+							complain(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						specDoc := s.Doc != nil && strings.TrimSpace(s.Doc.Text()) != ""
+						for _, n := range s.Names {
+							if n.IsExported() && !groupDoc && !specDoc {
+								complain(n.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].file != found[j].file {
+			return found[i].file < found[j].file
+		}
+		return found[i].line < found[j].line
+	})
+	gaps := make([]string, len(found))
+	for i, g := range found {
+		gaps[i] = g.msg
+	}
+	return gaps
+}
+
+// exportedReceiver reports whether a function is free-standing or a method
+// on an exported type (methods on unexported types are not godoc surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true // unknown shape: err on the side of requiring docs
+		}
 	}
 }

@@ -11,6 +11,8 @@
 //	experiments -exp scenarios -cells 4      # scenario matrix over a 4-cell federation
 //	experiments -exp scenarios -scenario drain-wave -router round-robin
 //	experiments -exp fig13 -parallel 8 -canonical -json out.json  # CI determinism gate
+//	experiments -exp scale -parallel 1 -json BENCH_scale.json  # pool-scale sweep
+//	experiments -exp fig13 -exhaustive -canonical -json ref.json  # reference engine
 //
 // Simulation batches fan out across -parallel workers (default GOMAXPROCS;
 // results are identical at any worker count, see internal/runner). Progress
@@ -19,6 +21,11 @@
 // BENCH_*.json trajectory tracking; -canonical strips wall-clock timings
 // and worker counts from that document so runs at any -parallel setting
 // diff byte-identically — the CI determinism job relies on it.
+//
+// -exhaustive runs every policy on the exhaustive scoring engine instead of
+// the incremental score cache (see DESIGN.md §6). Results are byte-identical
+// either way; CI's determinism job diffs the two canonical documents to
+// prove it on the fig13 and scenarios matrices.
 //
 // The scenarios experiment (PR 2) takes three extra knobs, ignored by the
 // classic table/figure experiments:
@@ -29,6 +36,15 @@
 //	                      (default "" = the whole catalog, steady included)
 //	-router KIND          cell router: round-robin | least-utilized |
 //	                      feature-hash (default "" = feature-hash)
+//
+// The scale experiment (this PR) sweeps pool size (1k/10k/50k hosts at
+// -scale 1, shrunk proportionally with a 64-host floor) x policy x scoring
+// engine on a fixed fig6-mix workload. Its report doubles as a differential
+// check (the "identical" column) and its BENCH_scale.json — produced in CI
+// at reduced scale — is the placement-throughput scale curve future PRs are
+// held against. Wall-clock speedup columns are only meaningful with
+// -parallel 1; the benchstat-gated numbers come from BenchmarkScalePlacement
+// (see README.md "Benchmarking & performance tuning").
 //
 // Each experiment prints the same rows/series the paper reports plus the
 // paper's published values for comparison. See README.md for the full
@@ -48,16 +64,17 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+") or 'all'")
-		scale     = flag.Float64("scale", 0.25, "study scale in (0,1]: 1 = paper-sized (slow)")
-		seed      = flag.Int64("seed", 42, "random seed")
-		parallel  = flag.Int("parallel", 0, "simulation workers: 1 = sequential, 0 = GOMAXPROCS")
-		cells     = flag.Int("cells", 0, "federation width for the scenarios experiment (0 = default 4)")
-		scen      = flag.String("scenario", "", "restrict the scenarios experiment to one scenario id (empty = whole catalog)")
-		router    = flag.String("router", "", "cell router for the scenarios experiment: round-robin | least-utilized | feature-hash")
-		jsonOut   = flag.String("json", "", "write machine-readable batch results to this file ('-' for stdout)")
-		canonical = flag.Bool("canonical", false, "strip timings/worker counts from -json output so runs at any -parallel diff byte-identically")
-		progress  = flag.Bool("progress", false, "report batch progress and ETA on stderr")
+		exp        = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+") or 'all'")
+		scale      = flag.Float64("scale", 0.25, "study scale in (0,1]: 1 = paper-sized (slow)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		parallel   = flag.Int("parallel", 0, "simulation workers: 1 = sequential, 0 = GOMAXPROCS")
+		cells      = flag.Int("cells", 0, "federation width for the scenarios experiment (0 = default 4)")
+		scen       = flag.String("scenario", "", "restrict the scenarios experiment to one scenario id (empty = whole catalog)")
+		router     = flag.String("router", "", "cell router for the scenarios experiment: round-robin | least-utilized | feature-hash")
+		jsonOut    = flag.String("json", "", "write machine-readable batch results to this file ('-' for stdout)")
+		canonical  = flag.Bool("canonical", false, "strip timings/worker counts from -json output so runs at any -parallel diff byte-identically")
+		exhaustive = flag.Bool("exhaustive", false, "run policies on the exhaustive scoring engine instead of the incremental score cache (results are byte-identical; CI diffs the two)")
+		progress   = flag.Bool("progress", false, "report batch progress and ETA on stderr")
 	)
 	flag.Parse()
 
@@ -69,6 +86,7 @@ func main() {
 	opt := experiments.Options{
 		Scale: *scale, Seed: *seed, Parallel: *parallel,
 		Cells: *cells, Scenario: *scen, Router: *router,
+		Exhaustive: *exhaustive,
 	}
 	if *progress {
 		opt.Progress = func(p runner.Progress) {

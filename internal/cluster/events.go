@@ -1,0 +1,85 @@
+package cluster
+
+// HostEvent classifies a change to one host's scheduling-relevant state.
+// Events are the pool's incremental-invalidation surface: score caches
+// (internal/scheduler) subscribe and mark the affected host dirty instead of
+// rescanning the pool, which is what makes steady-state placement sublinear
+// in pool size.
+type HostEvent uint8
+
+// Host events. Place/Exit/Migrate are published by the corresponding Pool
+// mutators; HostInvalidated is the explicit escape hatch for state changes
+// the pool cannot see itself — LAVA class promotions on reprediction
+// deadlines, recycling-state transitions, and Unavailable flips by the
+// defragmentation/maintenance engines and scenario injectors.
+const (
+	// HostPlaced: a VM was added to the host (Pool.Place).
+	HostPlaced HostEvent = iota
+	// HostExited: a VM was removed from the host (Pool.Exit).
+	HostExited
+	// HostMigratedOut: a VM left the host as the source of a migration.
+	HostMigratedOut
+	// HostMigratedIn: a VM arrived on the host as a migration destination.
+	HostMigratedIn
+	// HostInvalidated: out-of-band state relevant to scoring changed
+	// (Pool.InvalidateHost).
+	HostInvalidated
+)
+
+// String renders the event name.
+func (e HostEvent) String() string {
+	switch e {
+	case HostPlaced:
+		return "placed"
+	case HostExited:
+		return "exited"
+	case HostMigratedOut:
+		return "migrated-out"
+	case HostMigratedIn:
+		return "migrated-in"
+	case HostInvalidated:
+		return "invalidated"
+	default:
+		return "event(?)"
+	}
+}
+
+// HostListener observes host events. Listeners run synchronously inside the
+// pool mutation, under the pool's single-writer contract: they must be fast,
+// must not mutate the pool, and need no locking. Typical listeners only flip
+// a per-host dirty bit.
+type HostListener func(h *Host, ev HostEvent)
+
+// Subscribe registers a listener for all subsequent host events and returns
+// its cancel function. Subscribers are notified in subscription order.
+//
+// The contract a subscriber may rely on: every change that can alter a
+// host's feasibility or any event-driven score — VM set changes, Unavailable
+// flips, LAVA state-machine transitions — is announced either by the
+// structural events (place/exit/migrate) or by an explicit InvalidateHost
+// from the component performing the out-of-band mutation. Code that mutates
+// host state outside the Pool mutators must call InvalidateHost afterwards;
+// the scheduler's differential tests exist to catch violations.
+func (p *Pool) Subscribe(fn HostListener) (cancel func()) {
+	p.subs = append(p.subs, fn)
+	i := len(p.subs) - 1
+	return func() { p.subs[i] = nil }
+}
+
+// InvalidateHost publishes a HostInvalidated event for the host, telling
+// subscribers that scheduling-relevant state changed outside the pool's own
+// mutators. Unknown IDs are ignored.
+func (p *Pool) InvalidateHost(id HostID) {
+	if h := p.byID[id]; h != nil {
+		p.notify(h, HostInvalidated)
+	}
+}
+
+// notify fans one event out to the live subscribers.
+func (p *Pool) notify(h *Host, ev HostEvent) {
+	for _, fn := range p.subs {
+		if fn != nil {
+			fn(h, ev)
+		}
+	}
+}

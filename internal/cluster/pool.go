@@ -20,6 +20,7 @@ type Pool struct {
 	byID  map[HostID]*Host
 	vms   map[VMID]*Host // VM -> current host
 	idx   *capIndex      // free-capacity index over hosts
+	subs  []HostListener // host-event subscribers (see events.go)
 
 	// Counters for telemetry (§7: production monitoring).
 	Placements int
@@ -86,6 +87,7 @@ func (p *Pool) Place(vm *VM, h *Host) error {
 	p.vms[vm.ID] = h
 	p.idx.update(h.ID)
 	p.Placements++
+	p.notify(h, HostPlaced)
 	return nil
 }
 
@@ -102,6 +104,7 @@ func (p *Pool) Exit(id VMID) (*Host, *VM, error) {
 	delete(p.vms, id)
 	p.idx.update(h.ID)
 	p.Exits++
+	p.notify(h, HostExited)
 	return h, vm, nil
 }
 
@@ -131,6 +134,8 @@ func (p *Pool) Migrate(id VMID, dst *Host) (*Host, error) {
 	p.idx.update(dst.ID)
 	vm.Migrations++
 	p.Migrations++
+	p.notify(src, HostMigratedOut)
+	p.notify(dst, HostMigratedIn)
 	return src, nil
 }
 
@@ -214,6 +219,9 @@ func (p *Pool) RunningVMs() []*VM {
 }
 
 // Clone deep-copies the pool for what-if packing (stranding inflation).
+// Subscribers are not copied: the clone starts with a fresh, empty listener
+// list, and score caches rebind (and rebuild) when first scheduled against
+// a different pool.
 func (p *Pool) Clone() *Pool {
 	c := &Pool{
 		Name: p.Name,

@@ -155,6 +155,7 @@ func (e *Engine) trigger(pool *cluster.Pool, now time.Duration) {
 	e.Stats.Rounds++
 	for _, h := range cands {
 		h.Unavailable = true // stop scheduling new VMs onto it (Algorithm 1)
+		pool.InvalidateHost(h.ID)
 		e.draining[h.ID] = true
 		vms := h.VMs() // ID order = creation order (the trace-order baseline)
 		if e.cfg.Strategy == OrderLARS {
@@ -302,6 +303,7 @@ func (e *Engine) releaseEmptyHosts(pool *cluster.Pool) {
 		}
 		h.Unavailable = false
 		h.ResetLAVA()
+		pool.InvalidateHost(id)
 		delete(e.draining, id)
 		e.Stats.HostsFreed++
 	}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"lava/internal/runner"
+)
+
+// canonicalDoc runs one experiment with the given engine/parallelism and
+// returns its canonical BENCH JSON — the same document cmd/experiments
+// -canonical -json emits, with timings and worker counts stripped.
+func canonicalDoc(t *testing.T, exp string, parallel int, exhaustive bool) []byte {
+	t.Helper()
+	opt := tiny()
+	opt.Parallel = parallel
+	opt.Exhaustive = exhaustive
+	opt.Sink = &runner.Sink{}
+	if _, err := Run(exp, opt); err != nil {
+		t.Fatalf("%s (parallel=%d exhaustive=%v): %v", exp, parallel, exhaustive, err)
+	}
+	doc := runner.Document{Scale: opt.Scale, Seed: opt.Seed, Batches: opt.Sink.Summaries()}
+	doc.Canonicalize()
+	var buf bytes.Buffer
+	if err := runner.WriteJSON(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCachedMatchesExhaustiveMatrices is the experiment-level differential
+// gate: on the fig13 and scenarios matrices, the incremental score-cache
+// engine must produce canonical JSON byte-identical to the exhaustive
+// reference, at 1 and at 8 workers. CI repeats the same comparison through
+// the cmd/experiments binary (-exhaustive) in the determinism job.
+func TestCachedMatchesExhaustiveMatrices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, exp := range []string{"fig13", "scenarios"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			ref := canonicalDoc(t, exp, 1, true)
+			for _, cfg := range []struct {
+				parallel   int
+				exhaustive bool
+			}{{1, false}, {8, false}, {8, true}} {
+				got := canonicalDoc(t, exp, cfg.parallel, cfg.exhaustive)
+				if !bytes.Equal(ref, got) {
+					t.Errorf("%s: parallel=%d exhaustive=%v diverges from the parallel=1 exhaustive reference:\n--- ref ---\n%s\n--- got ---\n%s",
+						exp, cfg.parallel, cfg.exhaustive, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestScalePipeline proves the scale sweep runs end to end at test size and
+// that its built-in differential check holds: every row must report the
+// cached and exhaustive arms identical, with a sane placement count.
+func TestScalePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	opt := tiny()
+	opt.Sink = &runner.Sink{}
+	rep, err := Run("scale", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := rep.(*ScaleReport)
+	if !ok {
+		t.Fatalf("report type %T", rep)
+	}
+	if len(sr.Rows) == 0 {
+		t.Fatal("scale report has no rows")
+	}
+	for _, row := range sr.Rows {
+		if !row.Identical {
+			t.Errorf("h%d/%s: cached and exhaustive arms diverged", row.Hosts, row.Policy)
+		}
+		if row.Placements == 0 {
+			t.Errorf("h%d/%s: no placements measured", row.Hosts, row.Policy)
+		}
+	}
+	sums := opt.Sink.Summaries()
+	if len(sums) != 1 || sums[0].Name != "scale" || sums[0].Failed != 0 {
+		t.Fatalf("sink summaries = %+v", sums)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("speedup")) {
+		t.Fatalf("render missing speedup column:\n%s", buf.String())
+	}
+}

@@ -44,6 +44,13 @@ type Options struct {
 	// (round-robin | least-utilized | feature-hash; default feature-hash).
 	Router string
 
+	// Exhaustive runs every policy on the exhaustive scoring engine instead
+	// of the incremental score cache (scheduler.EngineExhaustive). Results
+	// are byte-identical either way — the CI determinism job diffs the two
+	// — so this knob exists for differential testing and for measuring the
+	// cache's speedup (the scale experiment runs both arms).
+	Exhaustive bool
+
 	// Progress, if non-nil, receives a snapshot after every batch job
 	// completes (aggregated completion counts and an ETA).
 	Progress func(runner.Progress)
@@ -140,12 +147,20 @@ func batch(opt Options, exp string, jobs []runner.Job) (map[string]*sim.Result, 
 	return out, nil
 }
 
+// policy applies the options' engine selection to a freshly built policy.
+func (o Options) policy(p scheduler.Policy) scheduler.Policy {
+	if o.Exhaustive {
+		scheduler.SetEngine(p, scheduler.EngineExhaustive)
+	}
+	return p
+}
+
 // simJob builds a named batch job that replays tr under the policy pol
-// constructs. Policies carry mutable caches, so each job builds its own
-// inside the closure.
-func simJob(name string, seed int64, tr *trace.Trace, pol func() scheduler.Policy) runner.Job {
+// constructs, on the engine the options select. Policies carry mutable
+// caches, so each job builds its own inside the closure.
+func simJob(opt Options, name string, seed int64, tr *trace.Trace, pol func() scheduler.Policy) runner.Job {
 	return runner.Job{Name: name, Seed: seed, Run: func() (*sim.Result, error) {
-		return sim.Run(sim.Config{Trace: tr, Policy: pol()})
+		return sim.Run(sim.Config{Trace: tr, Policy: opt.policy(pol())})
 	}}
 }
 

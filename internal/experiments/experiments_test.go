@@ -32,6 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"table1", "table2", "table3", "table4", "theorem1", "scenarios",
+		"scale",
 	}
 	have := map[string]bool{}
 	for _, n := range Names() {

@@ -140,9 +140,9 @@ func runTable1(opt Options) (Report, error) {
 	for i, p := range pilots {
 		seed := opt.Seed + int64(1000*(10+i))
 		jobs = append(jobs,
-			simJob(fmt.Sprintf("pilot-%d/ctl", i+1), seed, p.ta,
+			simJob(opt, fmt.Sprintf("pilot-%d/ctl", i+1), seed, p.ta,
 				func() scheduler.Policy { return scheduler.NewWasteMin() }),
-			simJob(fmt.Sprintf("pilot-%d/trt", i+1), seed, p.tb,
+			simJob(opt, fmt.Sprintf("pilot-%d/trt", i+1), seed, p.tb,
 				func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) }),
 		)
 	}
@@ -213,7 +213,7 @@ func wholePoolPilot(opt Options, pred model.Predictor, name string, mix []worklo
 		return nil, err
 	}
 	switchAt := prefill + steady/2
-	pol := scheduler.NewSwitched(scheduler.NewWasteMin(), scheduler.NewNILAS(pred, time.Minute), switchAt)
+	pol := opt.policy(scheduler.NewSwitched(scheduler.NewWasteMin(), scheduler.NewNILAS(pred, time.Minute), switchAt))
 	res, err := sim.Run(sim.Config{Trace: tr, Policy: pol})
 	if err != nil {
 		return nil, err
@@ -281,7 +281,7 @@ func runFig7(opt Options) (Report, error) {
 	}
 	switchAt := prefill + steady/2
 	resM, err := batch(opt, "fig7", []runner.Job{
-		simJob("rollout", opt.Seed+4242, tr, func() scheduler.Policy {
+		simJob(opt, "rollout", opt.Seed+4242, tr, func() scheduler.Policy {
 			return scheduler.NewSwitched(scheduler.NewWasteMin(), scheduler.NewNILAS(pred, time.Minute), switchAt)
 		}),
 	})
@@ -373,7 +373,7 @@ func runTable2(opt Options) (Report, error) {
 				// migration queue is persistently contended.
 				Threshold: 0.95, HostsPerRound: 12, CheckEvery: time.Hour,
 			})
-			res, err := sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewWasteMin(), Components: []sim.Component{eng}})
+			res, err := sim.Run(sim.Config{Trace: tr, Policy: opt.policy(scheduler.NewWasteMin()), Components: []sim.Component{eng}})
 			if err != nil {
 				return err
 			}
@@ -429,7 +429,7 @@ func runFig14(opt Options) (Report, error) {
 		return nil, err
 	}
 	resM, err := batch(opt, "fig14", []runner.Job{
-		simJob("replay", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewWasteMin() }),
+		simJob(opt, "replay", opt.Seed, tr, func() scheduler.Policy { return scheduler.NewWasteMin() }),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lava/internal/model"
+	"lava/internal/runner"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+func init() {
+	register("scale", runScale)
+}
+
+// scaleHostSweep is the pool-size sweep at scale 1. Options.Scale shrinks it
+// (floor 64 hosts), so CI gates run the same experiment in seconds while a
+// full run measures the sizes the paper's production pools actually have.
+var scaleHostSweep = []int{1000, 10000, 50000}
+
+// ScaleRow is one (pool size, policy) measurement: wall-clock seconds and
+// placement throughput for the incremental score-cache engine vs the
+// exhaustive reference, plus the equivalence check between the two arms.
+type ScaleRow struct {
+	Hosts      int
+	Policy     string
+	Placements int
+	CachedSec  float64
+	ExhSec     float64
+	Speedup    float64 // ExhSec / CachedSec
+	Identical  bool    // cached and exhaustive aggregates match exactly
+}
+
+// ScaleReport is the pool-scale benchmark suite: how placement cost grows
+// with pool size under each engine. It is the scale curve future PRs are
+// held against (BENCH_scale.json).
+type ScaleReport struct {
+	Rows []ScaleRow
+}
+
+// Name implements Report.
+func (r *ScaleReport) Name() string { return "scale" }
+
+// Render implements Report.
+func (r *ScaleReport) Render(w io.Writer) {
+	fmt.Fprintln(w, "Scale — placement throughput vs pool size (cached vs exhaustive engine)")
+	fmt.Fprintln(w, "hosts  | policy   | placements | cached s | exhaust s | speedup | identical")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6d | %-8s | %10d | %8.2f | %9.2f | %6.2fx | %v\n",
+			row.Hosts, row.Policy, row.Placements, row.CachedSec, row.ExhSec, row.Speedup, row.Identical)
+	}
+	fmt.Fprintln(w, "note: speedups are wall-clock and only meaningful at -parallel 1;")
+	fmt.Fprintln(w, "      the benchstat-gated numbers come from BenchmarkScalePlacement")
+}
+
+// scaleTrace builds the fig6-mix workload for one pool size. Durations are
+// fixed (not scaled): the experiment measures scheduling cost, so the event
+// volume per host is held constant while the host count sweeps.
+func scaleTrace(opt Options, hosts int) (*trace.Trace, error) {
+	return workload.Generate(workload.PoolSpec{
+		Name:       fmt.Sprintf("scale-%d", hosts),
+		Zone:       "scale-zone",
+		Hosts:      hosts,
+		TargetUtil: 0.65,
+		Duration:   12 * simtime.Hour,
+		Prefill:    24 * simtime.Hour,
+		Seed:       opt.Seed + int64(hosts),
+		Diurnal:    0.3,
+	})
+}
+
+// runScale sweeps pool size x policy x engine. Every policy runs twice on
+// the identical trace — incremental score cache and exhaustive reference —
+// so the sweep doubles as a differential check: the Identical column must
+// read true everywhere.
+func runScale(opt Options) (Report, error) {
+	// A cheap, deterministic lifetime model: the engine comparison is about
+	// scheduling structure, and model-call counts are identical on both
+	// arms by construction.
+	mtr, err := workload.Generate(workload.PoolSpec{
+		Name: "scale-train", Zone: "scale-zone", Hosts: 64,
+		TargetUtil: 0.65, Duration: 7 * simtime.Day, Seed: opt.Seed + 777,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pred, err := model.TrainDistTable(mtr.Records, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var sizes []int
+	for _, n := range scaleHostSweep {
+		s := scaleInt(n, opt.Scale, 64)
+		if len(sizes) == 0 || sizes[len(sizes)-1] != s {
+			sizes = append(sizes, s)
+		}
+	}
+
+	traces := make([]*trace.Trace, len(sizes))
+	gen := make([]func() error, len(sizes))
+	for i, n := range sizes {
+		i, n := i, n
+		gen[i] = func() error {
+			tr, err := scaleTrace(opt, n)
+			traces[i] = tr
+			return err
+		}
+	}
+	if err := parDo(opt, gen...); err != nil {
+		return nil, err
+	}
+
+	arms := []policyArm{
+		{"base", func() scheduler.Policy { return scheduler.NewWasteMin() }},
+		{"nilas", func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) }},
+		{"lava", func() scheduler.Policy { return scheduler.NewLAVA(pred, time.Minute) }},
+	}
+	engines := []struct {
+		name string
+		e    scheduler.Engine
+	}{{"cached", scheduler.EngineCached}, {"exhaustive", scheduler.EngineExhaustive}}
+
+	var jobs []runner.Job
+	for i, tr := range traces {
+		for _, arm := range arms {
+			for _, eng := range engines {
+				tr, arm, eng := tr, arm, eng
+				jobs = append(jobs, runner.Job{
+					Name: fmt.Sprintf("h%d/%s/%s", sizes[i], arm.name, eng.name),
+					Seed: opt.Seed,
+					Run: func() (*sim.Result, error) {
+						return sim.Run(sim.Config{Trace: tr, Policy: scheduler.SetEngine(arm.mk(), eng.e)})
+					},
+				})
+			}
+		}
+	}
+
+	// Run through the batch runner directly (not the batch helper): the
+	// report needs the per-job wall-clock timings, which only the raw
+	// JobResults carry.
+	b := &runner.Batch{Parallel: opt.Parallel, OnProgress: opt.Progress}
+	start := time.Now()
+	results, err := b.Run(context.Background(), jobs)
+	if opt.Sink != nil {
+		opt.Sink.Add(runner.Summarize("scale", b.Workers(), time.Since(start).Seconds(), results))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scale: %w", err)
+	}
+	byName := make(map[string]runner.JobResult, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+
+	rep := &ScaleReport{}
+	for _, n := range sizes {
+		for _, arm := range arms {
+			c := byName[fmt.Sprintf("h%d/%s/cached", n, arm.name)]
+			x := byName[fmt.Sprintf("h%d/%s/exhaustive", n, arm.name)]
+			row := ScaleRow{
+				Hosts:      n,
+				Policy:     arm.name,
+				Placements: c.Result.Placements,
+				CachedSec:  c.ElapsedSec,
+				ExhSec:     x.ElapsedSec,
+				Identical: c.Result.Placements == x.Result.Placements &&
+					c.Result.Failed == x.Result.Failed &&
+					c.Result.ModelCalls == x.Result.ModelCalls &&
+					c.Result.AvgEmptyHostFrac == x.Result.AvgEmptyHostFrac &&
+					c.Result.AvgPackingDensity == x.Result.AvgPackingDensity,
+			}
+			if c.ElapsedSec > 0 {
+				row.Speedup = x.ElapsedSec / c.ElapsedSec
+			}
+			if math.IsNaN(row.Speedup) || math.IsInf(row.Speedup, 0) {
+				row.Speedup = 0
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}

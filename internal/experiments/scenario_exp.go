@@ -129,7 +129,7 @@ func runScenarios(opt Options) (Report, error) {
 					Run: func() (*sim.Result, error) {
 						return sim.Run(sim.Config{
 							Trace:     tr,
-							Policy:    scenarioPolicy(arm, spec, pred),
+							Policy:    opt.policy(scenarioPolicy(arm, spec, pred)),
 							Injectors: spec.Injectors(i),
 						})
 					},

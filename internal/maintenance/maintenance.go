@@ -86,6 +86,7 @@ func (e *Engine) Tick(pool *cluster.Pool, now time.Duration) {
 		e.updated[id] = true
 		e.Stats.Updated++
 		pool.Host(id).Unavailable = false
+		pool.InvalidateHost(id)
 	}
 	if e.Done() {
 		e.Stats.CompletedAt = now
@@ -105,6 +106,7 @@ func (e *Engine) Tick(pool *cluster.Pool, now time.Duration) {
 			continue
 		}
 		h.Unavailable = true
+		pool.InvalidateHost(h.ID)
 		e.updating[h.ID] = now + e.cfg.UpdateTime
 	}
 }
@@ -127,16 +129,20 @@ func (p *PreferUpdated) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Du
 	if p.Engine.Done() || now < p.Engine.cfg.StartAt {
 		return p.Inner.Schedule(pool, vm, now)
 	}
+	// The toggles are out-of-band availability changes: publish an
+	// invalidation per flip so the inner policy's score cache tracks them.
 	var toggled []*cluster.Host
 	for _, h := range pool.Hosts() {
 		if !p.Engine.IsUpdated(h.ID) && !h.Unavailable {
 			h.Unavailable = true
+			pool.InvalidateHost(h.ID)
 			toggled = append(toggled, h)
 		}
 	}
 	host, err := p.Inner.Schedule(pool, vm, now)
 	for _, h := range toggled {
 		h.Unavailable = false
+		pool.InvalidateHost(h.ID)
 	}
 	if err == nil {
 		return host, nil

@@ -47,20 +47,22 @@ func BestFitScorer() Scorer {
 
 // NewWasteMin builds the production-baseline policy: avoid empties, then
 // minimize leftover-shape waste, then best fit as the final tie-break.
+// Every level is a pure function of (host state, VM shape), so the whole
+// chain rides the incremental score cache keyed by shape alone.
 func NewWasteMin() Policy {
-	return &Chain{ChainName: "wastemin", Scorers: []Scorer{
+	return NewCachedChain(Chain{ChainName: "wastemin", Scorers: []Scorer{
 		AvoidEmptyScorer(),
 		WasteMinScorer(),
 		BestFitScorer(),
-	}}
+	}}, nil, nil)
 }
 
 // NewBestFit builds the plain Best Fit policy (the substrate of Barbalho et
-// al.'s scheduler).
+// al.'s scheduler), fully cached like NewWasteMin.
 func NewBestFit() Policy {
-	return &Chain{ChainName: "bestfit", Scorers: []Scorer{
+	return NewCachedChain(Chain{ChainName: "bestfit", Scorers: []Scorer{
 		AvoidEmptyScorer(),
 		BestFitScorer(),
 		WasteMinScorer(),
-	}}
+	}}, nil, nil)
 }

@@ -21,7 +21,7 @@ const LACutoff = 2 * time.Hour
 // Because predictions are never updated, an under-predicted VM can pin a
 // "short" host forever — the failure mode repredictions fix (§1).
 type LABinary struct {
-	chain Chain
+	chain CachedChain
 	pred  model.Predictor
 
 	// ModelCalls counts predictor invocations (one per VM at creation).
@@ -31,15 +31,28 @@ type LABinary struct {
 // NewLABinary builds the LA-Binary policy over the given predictor. The
 // predictor is consulted exactly once per VM (at schedule time); NILAS and
 // LAVA runs use the same model for apples-to-apples comparisons (§5.3).
+//
+// LA-Binary is the score cache's DirtyAll case: hostLong decays with the
+// clock (a host's pinned predictions silently cross the cutoff as time
+// passes), so its class score is genuinely time-varying and no host event
+// marks the change. The chain is therefore declared TimeVarying, which is
+// equivalent to DirtyAll before every Schedule — the engine skips cache
+// maintenance and scores exhaustively.
 func NewLABinary(pred model.Predictor) *LABinary {
 	la := &LABinary{pred: pred}
-	la.chain = Chain{ChainName: "la-binary", Scorers: []Scorer{
+	la.chain = CachedChain{Chain: Chain{ChainName: "la-binary", Scorers: []Scorer{
 		ScorerFunc{FuncName: "la-class-match", F: la.classScore},
 		BestFitScorer(),
 		WasteMinScorer(),
-	}}
+	}}, TimeVarying: true}
 	return la
 }
+
+// SetEngine implements the engine switch; both engines already coincide for
+// a TimeVarying chain (see NewLABinary).
+func (la *LABinary) SetEngine(e Engine) { la.chain.SetEngine(e) }
+
+func (la *LABinary) engineOf() Engine { return la.chain.engine }
 
 // Name implements Policy.
 func (la *LABinary) Name() string { return "la-binary" }

@@ -24,21 +24,37 @@ import (
 //
 // with ties at each level broken by the NILAS scorers.
 type LAVA struct {
-	chain Chain
+	chain CachedChain
 	cache *ExitCache
 }
 
 // NewLAVA builds the LAVA policy over the given predictor. refresh is the
 // host-score cache interval (Appendix G.3).
+//
+// On the incremental engine the class preference and packing levels are
+// cached under a (shape, VM lifetime class) context — the class score is a
+// pure function of host state and the VM's class — while the temporal cost
+// stays dynamic. Host state transitions driven from the policy hooks are
+// covered by the pool's place/exit events; OnTick promotions announce
+// themselves through Pool.InvalidateHost.
 func NewLAVA(pred model.Predictor, refresh time.Duration) *LAVA {
 	l := &LAVA{cache: NewExitCache(pred, refresh)}
 	n := &NILAS{cache: l.cache} // share one cache between the two levels
-	l.chain = Chain{ChainName: "lava", Scorers: append([]Scorer{
+	l.chain = CachedChain{Chain: Chain{ChainName: "lava", Scorers: append([]Scorer{
 		ScorerFunc{FuncName: "lava-class", F: l.classScore},
 		ScorerFunc{FuncName: "temporal-cost", F: n.temporalCost},
-	}, nilasPackingScorers()...)}
+	}, nilasPackingScorers()...)},
+		Dynamic: []bool{false, true},
+		ClassOf: func(vm *cluster.VM, now time.Duration) int32 { return int32(l.vmClass(vm, now)) },
+	}
 	return l
 }
+
+// SetEngine switches the policy between the incremental and exhaustive
+// scoring engines (see CachedChain).
+func (l *LAVA) SetEngine(e Engine) { l.chain.SetEngine(e) }
+
+func (l *LAVA) engineOf() Engine { return l.chain.engine }
 
 // vmClass computes the VM's lifetime class from a (re)prediction at its
 // current uptime — new VMs at uptime zero, migrating VMs at their age.
@@ -67,6 +83,11 @@ func (l *LAVA) Name() string { return "lava" }
 
 // Schedule implements Policy.
 func (l *LAVA) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
+	// Classify the VM up front on both engines. The cached engine needs the
+	// class for its context key; warming the (memoized) reprediction here
+	// keeps the exhaustive engine's model-call count identical even when a
+	// single feasible host lets the chain skip scoring entirely.
+	l.vmClass(vm, now)
 	return l.chain.Schedule(pool, vm, now)
 }
 
@@ -113,6 +134,9 @@ func (l *LAVA) OnTick(pool *cluster.Pool, now time.Duration) {
 		if now > h.Deadline {
 			h.PromoteClass(now)
 			l.cache.Invalidate(h.ID)
+			// A promotion changes the host's class score without any pool
+			// mutation; announce it so score caches re-bucket the host.
+			pool.InvalidateHost(h.ID)
 		}
 	})
 }

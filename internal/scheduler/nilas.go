@@ -16,20 +16,31 @@ import (
 // hosts pack by the baseline's waste-minimization criteria — the
 // "equivalence classes" of §4.2.
 type NILAS struct {
-	chain Chain
+	chain CachedChain
 	cache *ExitCache
 }
 
 // NewNILAS builds the NILAS policy over the given predictor. refresh is the
 // host-score cache interval of Appendix G.3 (zero disables caching, i.e.
 // hosts are re-scored on every request).
+//
+// On the incremental engine the packing levels are cached by VM shape; the
+// temporal cost stays dynamic (it depends on the candidate VM's repredicted
+// exit), so it is evaluated on every feasible host exactly as the exhaustive
+// path does — including the exit-cache refreshes and model-call counts.
 func NewNILAS(pred model.Predictor, refresh time.Duration) *NILAS {
 	n := &NILAS{cache: NewExitCache(pred, refresh)}
-	n.chain = Chain{ChainName: "nilas", Scorers: append([]Scorer{
+	n.chain = CachedChain{Chain: Chain{ChainName: "nilas", Scorers: append([]Scorer{
 		ScorerFunc{FuncName: "temporal-cost", F: n.temporalCost},
-	}, nilasPackingScorers()...)}
+	}, nilasPackingScorers()...)}, Dynamic: []bool{true}}
 	return n
 }
+
+// SetEngine switches the policy between the incremental and exhaustive
+// scoring engines (see CachedChain).
+func (n *NILAS) SetEngine(e Engine) { n.chain.SetEngine(e) }
+
+func (n *NILAS) engineOf() Engine { return n.chain.engine }
 
 // alignment scores hosts by how *similar* their exit is to the VM's,
 // quantized with the temporal-cost buckets. It is not part of the default
@@ -108,9 +119,9 @@ func (n *NILAS) Cache() *ExitCache { return n.cache }
 // studies (see the alignment doc comment for why it is not the default).
 func (n *NILAS) WithAlignment() *NILAS {
 	out := &NILAS{cache: n.cache}
-	out.chain = Chain{ChainName: "nilas-aligned", Scorers: append([]Scorer{
+	out.chain = CachedChain{Chain: Chain{ChainName: "nilas-aligned", Scorers: append([]Scorer{
 		ScorerFunc{FuncName: "temporal-cost", F: out.temporalCost},
 		ScorerFunc{FuncName: "exit-alignment", F: out.alignment},
-	}, nilasPackingScorers()...)}
+	}, nilasPackingScorers()...)}, Dynamic: []bool{true, true}}
 	return out
 }

@@ -69,15 +69,43 @@ func (c *Chain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) 
 	if len(candidates) == 0 {
 		return nil, ErrNoCapacity
 	}
+	candidates = c.applyChain(candidates, 0, c, vm, now)
+	// Deterministic tie-break: lowest host ID. AppendFeasible returns hosts
+	// in ID order and the filtering preserves it, so the first candidate
+	// wins.
+	return candidates[0], nil
+}
+
+// levelScorer abstracts where a chain level's scores come from: the
+// exhaustive engine computes them (Chain.levelScore), the incremental engine
+// reads cached values for static levels (CachedChain.levelScore). Keeping
+// one filtering core under both sources is what makes the two engines
+// byte-identical by construction — they run the same comparisons on the
+// same candidates in the same order.
+type levelScorer interface {
+	levelScore(level int, h *cluster.Host, vm *cluster.VM, now time.Duration) float64
+}
+
+// levelScore implements levelScorer by evaluating the scorer directly.
+func (c *Chain) levelScore(level int, h *cluster.Host, vm *cluster.VM, now time.Duration) float64 {
+	return c.Scorers[level].Score(h, vm, now)
+}
+
+// applyChain runs the lexicographic epsilon-filter over candidates (which
+// must be in host-ID order), starting at the given level and drawing scores
+// from src. It reuses the chain's scratch buffer, mutates the candidates
+// slice in place, and returns the survivors; levels stop evaluating once a
+// single candidate remains.
+func (c *Chain) applyChain(candidates []*cluster.Host, from int, src levelScorer, vm *cluster.VM, now time.Duration) []*cluster.Host {
 	scratch := c.scratch
-	for _, s := range c.Scorers {
+	for li := from; li < len(c.Scorers); li++ {
 		if len(candidates) == 1 {
 			break
 		}
 		best := 0.0
 		scratch = scratch[:0]
 		for i, h := range candidates {
-			sc := s.Score(h, vm, now)
+			sc := src.levelScore(li, h, vm, now)
 			switch {
 			case i == 0 || sc < best-scoreEpsilon:
 				best = sc
@@ -89,10 +117,7 @@ func (c *Chain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) 
 		candidates = append(candidates[:0], scratch...)
 	}
 	c.scratch = scratch
-	// Deterministic tie-break: lowest host ID. AppendFeasible returns hosts
-	// in ID order and the filtering preserves it, so the first candidate
-	// wins.
-	return candidates[0], nil
+	return candidates
 }
 
 // OnPlaced implements Policy (no-op for plain chains).

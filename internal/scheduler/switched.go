@@ -29,6 +29,17 @@ func (s *Switched) active(now time.Duration) Policy {
 	return s.Pre
 }
 
+// SetEngine flips both arms onto the given scoring engine. Each arm's score
+// cache subscribes to the pool lazily at its own first Schedule, so the
+// post-switch policy starts from an all-dirty rebuild and inherits the
+// pre-switch residual state exactly as the exhaustive path would.
+func (s *Switched) SetEngine(e Engine) {
+	SetEngine(s.Pre, e)
+	SetEngine(s.Post, e)
+}
+
+func (s *Switched) engineOf() Engine { return EngineOf(s.Pre) }
+
 // Name implements Policy.
 func (s *Switched) Name() string { return s.Pre.Name() + "->" + s.Post.Name() }
 

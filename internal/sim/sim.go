@@ -74,6 +74,9 @@ func (c *Control) Withdraw(id cluster.HostID) {
 		if h := c.pool.Host(id); !h.Unavailable {
 			h.Unavailable = true
 			c.owned[id] = true
+			// Availability changed outside the pool's own mutators; tell
+			// score caches (see cluster.HostInvalidated).
+			c.pool.InvalidateHost(id)
 		}
 	}
 }
@@ -89,6 +92,7 @@ func (c *Control) Restore(id cluster.HostID) {
 	if c.claims[id] == 0 && c.owned[id] {
 		c.pool.Host(id).Unavailable = false
 		delete(c.owned, id)
+		c.pool.InvalidateHost(id)
 	}
 }
 
