@@ -9,11 +9,20 @@
 //	lavad -trace trace.jsonl                         # LAVA + dist model on :8080
 //	lavad -trace trace.jsonl -policy nilas -model gbdt -addr 127.0.0.1:9000
 //	lavad -trace trace.jsonl -model oracle           # memo auto-disabled
+//	lavad -trace trace.jsonl -cells 4 -router feature-hash   # federated fleet
+//
+// With -cells N > 1 the daemon serves a federated fleet: N independent
+// per-cell event loops (parallel across cores) behind a router chosen by
+// -router (round-robin | least-utilized | feature-hash), the same HTTP
+// surface, rolled-up /stats and /drain.
 //
 // Replaying the same trace against the daemon with cmd/lavaload reproduces
-// `lavasim -trace trace.jsonl` byte-for-byte; see internal/serve for the
-// determinism contract. SIGINT/SIGTERM shut the listener down gracefully
-// and stop the event loop.
+// `lavasim -trace trace.jsonl` byte-for-byte — per cell, in fleet mode
+// with the static routers (round-robin, feature-hash); least-utilized is
+// served live from the fleet's commitment ledger and intentionally
+// diverges from the offline router's ground-truth-lifetime heap. See
+// internal/serve for the determinism contract. SIGINT/SIGTERM shut the
+// listener down gracefully and stop the event loop.
 package main
 
 import (
@@ -43,6 +52,8 @@ func main() {
 		tick      = flag.Duration("tick", 0, "policy tick period (default 5m)")
 		sample    = flag.Duration("sample", 0, "metric sampling period (default 1h)")
 		queue     = flag.Int("queue", 0, "admission queue depth (default 256)")
+		cells     = flag.Int("cells", 1, "serving cells; > 1 federates the pool behind a router")
+		router    = flag.String("router", "feature-hash", "fleet router: round-robin | least-utilized | feature-hash")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -80,11 +91,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts), policy %s, model %s (memo %v), horizon %v\n",
-		tr.PoolName, tr.Hosts, *policy, pred.Name(), useMemo, tr.End())
-	fmt.Fprintf(os.Stderr, "lavad: listening on http://%s\n", *addr)
-
-	err = lava.Serve(ctx, *addr, tr, lava.ServeConfig{
+	sc := lava.ServeConfig{
 		Policy:       lava.PolicyKind(*policy),
 		Pred:         pred,
 		Memo:         useMemo,
@@ -92,7 +99,22 @@ func main() {
 		TickEvery:    *tick,
 		SampleEvery:  *sample,
 		QueueDepth:   *queue,
-	})
+	}
+	if *cells > 1 {
+		fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts, %d cells via %s), policy %s, model %s (memo %v), horizon %v\n",
+			tr.PoolName, tr.Hosts, *cells, *router, *policy, pred.Name(), useMemo, tr.End())
+		fmt.Fprintf(os.Stderr, "lavad: listening on http://%s\n", *addr)
+		err = lava.ServeFleet(ctx, *addr, tr, lava.FleetConfig{
+			ServeConfig: sc,
+			Cells:       *cells,
+			Router:      lava.RouterKind(*router),
+		})
+	} else {
+		fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts), policy %s, model %s (memo %v), horizon %v\n",
+			tr.PoolName, tr.Hosts, *policy, pred.Name(), useMemo, tr.End())
+		fmt.Fprintf(os.Stderr, "lavad: listening on http://%s\n", *addr)
+		err = lava.Serve(ctx, *addr, tr, sc)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -14,7 +14,11 @@
 // Every request carries a sequence number, so the daemon's reorder buffer
 // restores exact event order at any -concurrency: the drain report's
 // metrics are byte-identical to an offline `lavasim` run of the same trace
-// (the parity test in internal/serve asserts this).
+// (the parity test in internal/serve asserts this). Against a federated
+// daemon (`lavad -cells N`) the same replay drives the whole fleet; the
+// drain report then carries the router, the utilization spread, and one
+// BENCH row per cell — each byte-identical to offline sharding + per-cell
+// simulation.
 package main
 
 import (
@@ -82,6 +86,15 @@ func main() {
 		fmt.Printf("avg empty hosts: %.2f%%  packing density: %.2f%%  cpu util: %.2f%%\n",
 			100*m.AvgEmptyHostFrac, 100*m.AvgPackingDensity, 100*m.AvgCPUUtil)
 	}
+	if ff := rep.FleetFinal; ff != nil {
+		fmt.Printf("fleet: %d cells via %s  util spread %.2f%%\n",
+			len(ff.Cells), ff.Router, 100*ff.UtilSpread)
+		for i, c := range ff.Cells {
+			fmt.Printf("  cell %d (%d hosts): placements %d  exits %d  failed %d  cpu util %.2f%%\n",
+				i, ff.Hosts[i], c.Metrics.Placements, c.Metrics.Exits, c.Metrics.Failed,
+				100*c.Metrics.AvgCPUUtil)
+		}
+	}
 
 	if *jsonOut != "" {
 		if err := writeBench(*jsonOut, tr, rep, *conc); err != nil {
@@ -91,7 +104,8 @@ func main() {
 }
 
 // writeBench emits the replay as a one-batch BENCH document: the runner's
-// trajectory format with the serving stats riding on the job result.
+// trajectory format with the serving stats riding on the fleet-level job
+// result, followed by one row per cell when the daemon was federated.
 func writeBench(path string, tr *trace.Trace, rep *serve.ReplayReport, workers int) error {
 	jr := runner.JobResult{
 		Name:       tr.PoolName + "/served",
@@ -103,11 +117,22 @@ func writeBench(path string, tr *trace.Trace, rep *serve.ReplayReport, workers i
 		jr.Policy = rep.Final.Policy
 		jr.Metrics = rep.Final.Metrics
 	}
+	results := []runner.JobResult{jr}
+	if ff := rep.FleetFinal; ff != nil {
+		for _, c := range ff.Cells {
+			results = append(results, runner.JobResult{
+				Name:    c.Pool + "/served",
+				Pool:    c.Pool,
+				Policy:  c.Policy,
+				Metrics: c.Metrics,
+			})
+		}
+	}
 	doc := runner.Document{
 		ElapsedSec: rep.Elapsed.Seconds(),
 		Parallel:   workers,
 		Batches: []runner.Summary{
-			runner.Summarize("lavaload/"+tr.PoolName, workers, rep.Elapsed.Seconds(), []runner.JobResult{jr}),
+			runner.Summarize("lavaload/"+tr.PoolName, workers, rep.Elapsed.Seconds(), results),
 		},
 	}
 	w := os.Stdout

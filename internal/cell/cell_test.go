@@ -244,6 +244,14 @@ func TestRollUp(t *testing.T) {
 	if _, err := RollUp("x", []int{1}, []*sim.Result{nil}); err == nil {
 		t.Error("nil result must fail")
 	}
+	// Zero total hosts would divide every average into NaN; it must be an
+	// error, not a NaN-laden rollup.
+	if _, err := RollUp("x", []int{0, 0}, []*sim.Result{
+		mk(0.4, 0.5, 1, 0, 0),
+		mk(0.2, 0.7, 2, 0, 0),
+	}); err == nil {
+		t.Error("zero total hosts must fail")
+	}
 	if _, err := RollUp("x", []int{1, 2}, []*sim.Result{mk(0, 0, 0, 0, 0)}); err == nil {
 		t.Error("mismatched lengths must fail")
 	}

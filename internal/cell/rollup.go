@@ -63,6 +63,12 @@ func RollUp(router string, hosts []int, results []*sim.Result) (*Rollup, error) 
 			maxU = res.AvgCPUUtil
 		}
 	}
+	if totalHosts <= 0 {
+		// All-zero (or negative) host counts reach this exported API from
+		// callers that build their own host slices; dividing by the zero
+		// total would silently turn every average into NaN.
+		return nil, fmt.Errorf("cell: rollup over %d total hosts", int(totalHosts))
+	}
 	r.AvgEmptyHostFrac /= totalHosts
 	r.AvgEmptyToFree /= totalHosts
 	r.AvgPackingDensity /= totalHosts

@@ -16,6 +16,15 @@ type memoKey struct {
 	uptime time.Duration
 }
 
+// memoEntry is one table slot. The goroutine that reserves the slot
+// computes val and closes ready; everyone else waits on ready and reads
+// val afterwards, so a burst of concurrent misses on one key runs the
+// underlying predictor exactly once.
+type memoEntry struct {
+	ready chan struct{}
+	val   time.Duration
+}
+
 // MemoPredictor memoizes a model.Predictor on (features, uptime). It is
 // semantically transparent for the learned model families — gbdt, km, dist,
 // mlp, cox predict from exactly that pair — so a memoized server makes
@@ -24,6 +33,12 @@ type memoKey struct {
 // pay. It must NOT wrap identity-dependent predictors (model.Oracle,
 // model.NoisyOracle), whose output depends on the individual VM.
 //
+// Concurrent misses on the same key are collapsed: the first goroutine
+// reserves the slot under the lock and runs the underlying predictor; the
+// rest wait for its value. One miss per distinct key ever reaches the
+// counters or the predictor, so MemoStats stays exact under the fleet's
+// many event loops sharing one cache.
+//
 // The table is bounded: at MaxEntries it is cleared wholesale, a simple
 // eviction that keeps behaviour deterministic (a cache hit and a recompute
 // return the same value, so eviction timing is invisible to results).
@@ -31,7 +46,7 @@ type MemoPredictor struct {
 	p      model.Predictor
 	max    int
 	mu     sync.Mutex
-	table  map[memoKey]time.Duration
+	table  map[memoKey]*memoEntry
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -44,7 +59,7 @@ func Memoize(p model.Predictor, maxEntries int) *MemoPredictor {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMemoEntries
 	}
-	return &MemoPredictor{p: p, max: maxEntries, table: make(map[memoKey]time.Duration)}
+	return &MemoPredictor{p: p, max: maxEntries, table: make(map[memoKey]*memoEntry)}
 }
 
 // Name implements model.Predictor.
@@ -54,21 +69,26 @@ func (c *MemoPredictor) Name() string { return c.p.Name() + "+memo" }
 func (c *MemoPredictor) PredictRemaining(vm *cluster.VM, uptime time.Duration) time.Duration {
 	k := memoKey{feat: vm.Feat, uptime: uptime}
 	c.mu.Lock()
-	if v, ok := c.table[k]; ok {
+	if e, ok := c.table[k]; ok {
 		c.mu.Unlock()
+		// A pending entry means another goroutine is computing this exact
+		// value right now; waiting for it is a hit, not a second miss.
+		<-e.ready
 		c.hits.Add(1)
-		return v
+		return e.val
 	}
+	if len(c.table) >= c.max {
+		// Wholesale eviction. In-flight waiters hold pointers to their
+		// entries, which their owners still complete.
+		c.table = make(map[memoKey]*memoEntry)
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	c.table[k] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
-	v := c.p.PredictRemaining(vm, uptime)
-	c.mu.Lock()
-	if len(c.table) >= c.max {
-		c.table = make(map[memoKey]time.Duration)
-	}
-	c.table[k] = v
-	c.mu.Unlock()
-	return v
+	e.val = c.p.PredictRemaining(vm, uptime)
+	close(e.ready)
+	return e.val
 }
 
 // MemoStats is the cache-telemetry slice of /stats.

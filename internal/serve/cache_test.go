@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/features"
+)
+
+// countingPredictor is a slow feature-pure predictor that counts underlying
+// invocations, so tests can observe whether concurrent misses collapse.
+type countingPredictor struct {
+	calls atomic.Int64
+	delay time.Duration
+}
+
+func (p *countingPredictor) Name() string { return "counting" }
+
+func (p *countingPredictor) PredictRemaining(vm *cluster.VM, uptime time.Duration) time.Duration {
+	p.calls.Add(1)
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	return time.Duration(len(vm.Feat.VMCategory)+1) * time.Hour
+}
+
+// TestMemoConcurrentIdenticalKey is the thundering-herd regression: many
+// goroutines missing the same key at once must run the underlying predictor
+// exactly once, agree on the value, and account exactly one miss — the rest
+// are hits served from the reserved entry.
+func TestMemoConcurrentIdenticalKey(t *testing.T) {
+	const workers = 32
+	raw := &countingPredictor{delay: 5 * time.Millisecond}
+	memo := Memoize(raw, 0)
+	vm := &cluster.VM{ID: 1, Feat: features.Features{VMCategory: "burst"}}
+
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		gate  = make(chan struct{})
+		vals  [workers]time.Duration
+	)
+	for i := 0; i < workers; i++ {
+		i := i
+		start.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Done()
+			<-gate
+			vals[i] = memo.PredictRemaining(vm, time.Minute)
+		}()
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+
+	want := raw.PredictRemaining(vm, time.Minute) // one more direct call
+	for i, v := range vals {
+		if v != want {
+			t.Fatalf("worker %d got %v, want %v", i, v, want)
+		}
+	}
+	if got := raw.calls.Load(); got != 2 { // memoized herd collapsed to 1 (+1 direct)
+		t.Fatalf("underlying predictor ran %d times through the memo, want 1", got-1)
+	}
+	st := memo.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("memo counted %d misses for one distinct key", st.Misses)
+	}
+	if st.Hits != workers-1 {
+		t.Fatalf("memo counted %d hits, want %d", st.Hits, workers-1)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("memo holds %d entries, want 1", st.Entries)
+	}
+}
+
+// TestMemoEvictionKeepsInFlightEntries pins the wholesale-eviction contract:
+// clearing a full table must not disturb values, and repopulation resumes
+// counting misses per distinct key.
+func TestMemoEvictionKeepsInFlightEntries(t *testing.T) {
+	raw := &countingPredictor{}
+	memo := Memoize(raw, 2)
+	mk := func(cat string) *cluster.VM {
+		return &cluster.VM{ID: 1, Feat: features.Features{VMCategory: cat}}
+	}
+	for _, cat := range []string{"a", "bb", "ccc"} { // third insert evicts
+		if got, want := memo.PredictRemaining(mk(cat), 0), raw.PredictRemaining(mk(cat), 0); got != want {
+			t.Fatalf("category %q: memo %v != raw %v", cat, got, want)
+		}
+	}
+	st := memo.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("three distinct keys should be three misses, got %+v", st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("eviction at max=2 should leave the newest entry alone, got %d", st.Entries)
+	}
+}

@@ -109,6 +109,15 @@ func (c *Client) Drain(ctx context.Context) (DrainResponse, error) {
 	return out, err
 }
 
+// DrainFleet finishes the served run against either a Server or a Fleet.
+// The fleet drain payload is a superset of the single-server one: against a
+// plain Server the federation fields simply stay empty.
+func (c *Client) DrainFleet(ctx context.Context) (FleetDrainResponse, error) {
+	var out FleetDrainResponse
+	err := c.post(ctx, "/drain", struct{}{}, &out)
+	return out, err
+}
+
 // ReplayOptions shape a Replay run.
 type ReplayOptions struct {
 	// Concurrency is the number of in-flight request workers (default 1).
@@ -134,8 +143,13 @@ type ReplayReport struct {
 	// summary with achieved throughput.
 	Hist    *runner.LatencyHist
 	Serving *runner.ServingStats
-	// Final is the server's drain report (nil when SkipDrain).
+	// Final is the server's drain report (nil when SkipDrain). Replaying
+	// against a Fleet fills it with the host-weighted fleet rollup.
 	Final *DrainResponse
+	// FleetFinal carries the federation breakdown — router, per-cell host
+	// counts and metrics — when the drained endpoint was a Fleet; nil
+	// against a single Server (and when SkipDrain).
+	FleetFinal *FleetDrainResponse
 }
 
 // Replay streams a trace's event stream against the server: every CREATE
@@ -145,6 +159,11 @@ type ReplayReport struct {
 // trace's measurement end are skipped, exactly as offline. Unless
 // SkipDrain is set, the replay finishes with /drain and returns the final
 // aggregates.
+//
+// The same call drives a Fleet: the fleet's front-end sequencer routes the
+// globally sequenced stream across its cells, so each cell replays exactly
+// the shard cell.Shard would hand it offline, and the drain report gains
+// the per-cell breakdown in FleetFinal.
 func (c *Client) Replay(ctx context.Context, tr *trace.Trace, opt ReplayOptions) (*ReplayReport, error) {
 	workers := opt.Concurrency
 	if workers <= 0 {
@@ -244,11 +263,14 @@ feed:
 	}
 	rep.Serving = hist.Stats(rep.Elapsed)
 	if !opt.SkipDrain {
-		final, err := c.Drain(ctx)
+		fd, err := c.DrainFleet(ctx)
 		if err != nil {
 			return nil, err
 		}
-		rep.Final = &final
+		rep.Final = &DrainResponse{Pool: fd.Pool, Policy: fd.Policy, Metrics: fd.Metrics, SeriesLen: fd.SeriesLen}
+		if len(fd.Cells) > 0 {
+			rep.FleetFinal = &fd
+		}
 	}
 	return rep, nil
 }

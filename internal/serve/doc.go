@@ -50,4 +50,23 @@
 // advanced to its horizon, and the final post-warm-up aggregates — the
 // exact fields an offline run reports — are computed once and returned.
 // Reads keep working on the frozen pool after the drain.
+//
+// # Federation (Fleet)
+//
+// Fleet puts N Servers — one pool, policy and event loop each — behind a
+// single front-end with the same HTTP surface, which is how the serving
+// path uses more than one core: cells advance independently and only meet
+// at routing, stats rollup and drain. Placements route through the
+// internal/cell router family (round-robin and feature-hash applied
+// statically to the live stream; least-utilized served from a live
+// commitment ledger), exits follow the VM they name, ticks fan out, and
+// /drain rolls per-cell results up through cell.RollUp.
+//
+// A fleet-wide sequenced stream stays strictly ordered across the split: a
+// global reorder stage admits sequence numbers in order, routes each
+// request, stamps it with its cell's own contiguous sequence number, and
+// releases it — dispatch is concurrent and each cell's reorder buffer
+// restores that cell's order. Every cell therefore observes exactly the
+// event subsequence cell.Shard would hand it offline, and the fleet parity
+// test asserts per-cell byte equality against cell.PlanCells + sim.Run.
 package serve

@@ -1,0 +1,766 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lava/internal/cell"
+	"lava/internal/cluster"
+	"lava/internal/metrics"
+	"lava/internal/resources"
+	"lava/internal/runner"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/trace"
+)
+
+// FleetConfig configures a Fleet. The geometry fields describe the whole
+// federation; hosts are split across cells exactly as cell.SplitHosts does
+// for offline sharding, which is what makes a served fleet comparable —
+// byte-for-byte — to cell.PlanCells + per-cell sim.Run.
+type FleetConfig struct {
+	PoolName  string
+	Hosts     int // total hosts across the federation
+	HostShape resources.Vector
+
+	// WarmUp and Horizon play their serve.Config roles for every cell.
+	// Fleet parity with offline sharding requires an explicit Horizon: a
+	// zero horizon makes each offline cell measure until its own last exit,
+	// which no front-end can know in advance.
+	WarmUp  time.Duration
+	Horizon time.Duration
+
+	// Cells is the number of independent event loops (>= 1). Each owns its
+	// own pool and policy and runs on its own goroutine, so a fleet is
+	// parallel across cores in a way a single Server cannot be.
+	Cells int
+
+	// Router picks how placements map to cells: "round-robin" and
+	// "feature-hash" are the static offline routers applied to the live
+	// stream, "least-utilized" is upgraded online to consult the fleet's
+	// live commitment ledger (admitted minus exited CPU per cell) instead
+	// of the offline router's ground-truth lifetime heap. Empty means
+	// feature-hash.
+	Router string
+
+	// NewPolicy builds the policy instance for one cell. Policies carry
+	// mutable caches and must never be shared across event loops, hence a
+	// factory rather than a value.
+	NewPolicy func(cellIdx int) (scheduler.Policy, error)
+
+	// TickEvery, SampleEvery and QueueDepth are per-cell serve.Config
+	// settings.
+	TickEvery   time.Duration
+	SampleEvery time.Duration
+	QueueDepth  int
+
+	// Memo is the prediction cache shared by all cells' policies, if the
+	// caller memoized the predictor. One table serves the whole fleet: the
+	// key space is (features, uptime), which no cell split changes.
+	Memo *MemoPredictor
+}
+
+// FleetFromTrace derives the federation geometry from a trace header, with
+// the trace's measurement end as every cell's horizon (the offline
+// equivalent: cell.Shard copies the base horizon into each cell).
+func FleetFromTrace(tr *trace.Trace) FleetConfig {
+	return FleetConfig{
+		PoolName:  tr.PoolName,
+		Hosts:     tr.Hosts,
+		HostShape: tr.HostShape(),
+		WarmUp:    tr.WarmUp,
+		Horizon:   tr.End(),
+	}
+}
+
+// Fleet federates N per-cell Servers behind one front-end with the same
+// HTTP surface as a single Server. Placements are routed to cells; exits
+// follow the VM they name; ticks fan out; stats and drains roll up.
+//
+// Sequenced streams survive routing: the front-end holds a global reorder
+// stage that admits sequence numbers strictly in order, routes each request
+// under the routing lock, stamps it with the target cell's own contiguous
+// sequence number, and releases it. Dispatch to the cells is concurrent —
+// per-cell reorder buffers restore each cell's stream — so a replay fanned
+// across connections runs the cells genuinely in parallel while every cell
+// still sees exactly the event sequence offline sharding would hand it.
+type Fleet struct {
+	cfg    FleetConfig
+	hosts  []int
+	cells  []*Server
+	router cell.Router // nil when the live least-utilized router is active
+	liveLU bool
+	policy string // policy name, for stats/drain payloads
+
+	draining atomic.Bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Sequencer state (all under mu).
+	nextSeq   uint64         // the global sequence number admitted next
+	parked    map[uint64]int // waiter count per not-yet-admitted sequence
+	inflight  int            // admitted requests not yet answered by their cell
+	cellSeq   []uint64       // last per-cell sequence number issued
+	vmCell    map[cluster.VMID]int
+	vmCPU     map[cluster.VMID]int64
+	committed []int64 // live committed CPU-milli per cell (the LU ledger)
+	closed    bool
+	flushed   bool // a drain flushed the sequencer: nothing may park anymore
+	drainBusy bool
+	finalSet  bool
+	finalRoll *cell.Rollup
+	finalErr  error
+}
+
+// NewFleet builds and starts a fleet: N cells, N event loops.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Cells <= 0 {
+		return nil, fmt.Errorf("serve: fleet needs at least one cell, got %d", cfg.Cells)
+	}
+	if cfg.Hosts < cfg.Cells {
+		return nil, fmt.Errorf("serve: %d hosts cannot form %d cells", cfg.Hosts, cfg.Cells)
+	}
+	if cfg.NewPolicy == nil {
+		return nil, errors.New("serve: fleet config needs a policy factory")
+	}
+	if cfg.PoolName == "" {
+		cfg.PoolName = "pool"
+	}
+	routerKind := cfg.Router
+	if routerKind == "" {
+		routerKind = "feature-hash"
+	}
+	hosts := cell.SplitHosts(cfg.Hosts, cfg.Cells)
+	f := &Fleet{
+		cfg:       cfg,
+		hosts:     hosts,
+		nextSeq:   1,
+		parked:    make(map[uint64]int),
+		cellSeq:   make([]uint64, cfg.Cells),
+		vmCell:    make(map[cluster.VMID]int),
+		vmCPU:     make(map[cluster.VMID]int64),
+		committed: make([]int64, cfg.Cells),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	if routerKind == "least-utilized" {
+		f.liveLU = true
+	} else {
+		r, err := cell.NewRouter(routerKind, hosts)
+		if err != nil {
+			return nil, err
+		}
+		f.router = r
+	}
+
+	f.cells = make([]*Server, cfg.Cells)
+	for i := range f.cells {
+		pol, err := cfg.NewPolicy(i)
+		if err == nil && pol == nil {
+			err = errors.New("serve: fleet policy factory returned nil")
+		}
+		if err != nil {
+			for _, s := range f.cells[:i] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("serve: fleet cell %d: %w", i, err)
+		}
+		s, err := New(Config{
+			// The offline counterpart (cell.Shard) names cells the same
+			// way; keeping the names aligned keeps drain payloads diffable.
+			PoolName:    fmt.Sprintf("%s/cell-%d", cfg.PoolName, i),
+			Hosts:       hosts[i],
+			HostShape:   cfg.HostShape,
+			WarmUp:      cfg.WarmUp,
+			Horizon:     cfg.Horizon,
+			Policy:      pol,
+			TickEvery:   cfg.TickEvery,
+			SampleEvery: cfg.SampleEvery,
+			QueueDepth:  cfg.QueueDepth,
+			Memo:        cfg.Memo,
+		})
+		if err != nil {
+			for _, s := range f.cells[:i] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("serve: fleet cell %d: %w", i, err)
+		}
+		f.cells[i] = s
+		if i == 0 {
+			f.policy = pol.Name()
+		}
+	}
+	return f, nil
+}
+
+// RouterName reports the active routing discipline.
+func (f *Fleet) RouterName() string {
+	if f.liveLU {
+		return "least-utilized"
+	}
+	return f.router.Name()
+}
+
+// Cells reports the number of cells.
+func (f *Fleet) Cells() int { return len(f.cells) }
+
+// CellHosts returns the per-cell host counts (a copy).
+func (f *Fleet) CellHosts() []int {
+	out := make([]int, len(f.hosts))
+	copy(out, f.hosts)
+	return out
+}
+
+// Close stops every cell's event loop and wakes all parked waiters with
+// ErrClosed. Close does not drain; call Drain first for a graceful finish.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	for _, s := range f.cells {
+		s.Close()
+	}
+}
+
+// enterSeqLocked blocks (releasing the lock while parked) until seq is the
+// next global sequence number. On nil return the caller still holds the
+// lock, owns the routing turn, and must call advanceLocked before
+// unlocking.
+func (f *Fleet) enterSeqLocked(seq uint64) error {
+	for seq > f.nextSeq && !f.closed && !f.flushed {
+		f.parked[seq]++
+		f.cond.Wait()
+		f.parked[seq]--
+		if f.parked[seq] == 0 {
+			delete(f.parked, seq)
+		}
+	}
+	switch {
+	case f.closed:
+		return ErrClosed
+	case f.flushed:
+		// A drain already flushed the sequencer; nothing may enter anymore
+		// (mirrors the per-cell loop's post-drain rejection).
+		return ErrDraining
+	case seq < f.nextSeq:
+		if f.draining.Load() {
+			// The drain's flush jumped the cursor past this sequence while
+			// the request was in flight: it was never processed, so
+			// reporting it stale ("already processed") would lie. Draining
+			// is the truthful answer, exactly as for post-flush arrivals.
+			return ErrDraining
+		}
+		return errStaleSeq
+	}
+	return nil
+}
+
+// advanceLocked consumes the routing turn enterSeqLocked granted: the next
+// sequence number is admitted and the request counts as in flight until
+// doneDispatch.
+func (f *Fleet) advanceLocked() {
+	f.nextSeq++
+	f.inflight++
+	f.cond.Broadcast()
+}
+
+// doneDispatch marks one admitted request as fully answered by its cell.
+func (f *Fleet) doneDispatch() {
+	f.mu.Lock()
+	f.inflight--
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// routeCreateLocked picks the cell for a new VM and records the decision in
+// the fleet's ledgers: exits must follow their VM, and the live
+// least-utilized router reads the committed counters this maintains.
+func (f *Fleet) routeCreateLocked(rec *trace.Record) int {
+	var c int
+	if f.liveLU {
+		// Live least-utilized: lowest committed CPU per host right now,
+		// ties to the lowest index. Unlike the offline router, which
+		// consults the trace's ground-truth lifetimes, this ledger only
+		// knows what the request stream has actually admitted and exited.
+		best := float64(f.committed[0]) / float64(f.hosts[0])
+		for i := 1; i < len(f.hosts); i++ {
+			if score := float64(f.committed[i]) / float64(f.hosts[i]); score < best {
+				best, c = score, i
+			}
+		}
+	} else {
+		c = f.router.Route(rec)
+	}
+	f.vmCell[rec.ID] = c
+	f.vmCPU[rec.ID] = rec.Shape.CPUMilli
+	f.committed[c] += rec.Shape.CPUMilli
+	return c
+}
+
+// routeExitLocked resolves which cell holds the VM and releases its
+// commitment. ok is false for VMs the fleet never routed.
+func (f *Fleet) routeExitLocked(id cluster.VMID) (int, bool) {
+	c, ok := f.vmCell[id]
+	if !ok {
+		return 0, false
+	}
+	f.committed[c] -= f.vmCPU[id]
+	delete(f.vmCell, id)
+	delete(f.vmCPU, id)
+	return c, true
+}
+
+// nextCellSeqLocked issues the next contiguous sequence number for cell c.
+func (f *Fleet) nextCellSeqLocked(c int) uint64 {
+	f.cellSeq[c]++
+	return f.cellSeq[c]
+}
+
+// Place routes one VM placement to a cell. Semantics match Server.Place;
+// seq > 0 enrolls the request in the fleet-wide strictly ordered stream.
+func (f *Fleet) Place(rec trace.Record, at time.Duration, seq uint64) (host cluster.HostID, placed bool, err error) {
+	if f.draining.Load() {
+		return 0, false, ErrDraining
+	}
+	f.mu.Lock()
+	if seq > 0 {
+		if err := f.enterSeqLocked(seq); err != nil {
+			f.mu.Unlock()
+			return 0, false, err
+		}
+	} else if f.closed {
+		f.mu.Unlock()
+		return 0, false, ErrClosed
+	}
+	c := f.routeCreateLocked(&rec)
+	var cs uint64
+	if seq > 0 {
+		cs = f.nextCellSeqLocked(c)
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+
+	host, placed, err = f.cells[c].Place(rec, at, cs)
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	return host, placed, err
+}
+
+// ExitVM routes a VM exit to the cell that admitted the VM. Exits of VMs
+// the fleet never routed report removed=false without touching any cell;
+// routed exits always reach their cell — even when the placement failed for
+// capacity — because the cell's clock must advance past the exit time
+// exactly as an offline replay of the cell's shard would.
+func (f *Fleet) ExitVM(id cluster.VMID, at time.Duration, seq uint64) (removed bool, err error) {
+	if f.draining.Load() {
+		return false, ErrDraining
+	}
+	f.mu.Lock()
+	if seq > 0 {
+		if err := f.enterSeqLocked(seq); err != nil {
+			f.mu.Unlock()
+			return false, err
+		}
+	} else if f.closed {
+		f.mu.Unlock()
+		return false, ErrClosed
+	}
+	c, ok := f.routeExitLocked(id)
+	var cs uint64
+	if seq > 0 {
+		if ok {
+			cs = f.nextCellSeqLocked(c)
+		}
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+
+	if !ok {
+		if seq > 0 {
+			f.doneDispatch()
+		}
+		return false, nil
+	}
+	removed, err = f.cells[c].ExitVM(id, at, cs)
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	return removed, err
+}
+
+// Tick advances every cell's virtual time to at and returns the furthest
+// time reached. Sequenced ticks consume one fleet sequence number and one
+// per-cell sequence number in every cell, so they order correctly against
+// the sequenced placement stream on each side of the fan-out.
+func (f *Fleet) Tick(at time.Duration, seq uint64) (now time.Duration, err error) {
+	if f.draining.Load() {
+		return 0, ErrDraining
+	}
+	cs := make([]uint64, len(f.cells))
+	f.mu.Lock()
+	if seq > 0 {
+		if err := f.enterSeqLocked(seq); err != nil {
+			f.mu.Unlock()
+			return 0, err
+		}
+		for c := range f.cells {
+			cs[c] = f.nextCellSeqLocked(c)
+		}
+		f.advanceLocked()
+	} else if f.closed {
+		f.mu.Unlock()
+		return 0, ErrClosed
+	}
+	f.mu.Unlock()
+
+	nows := make([]time.Duration, len(f.cells))
+	err = f.fanOut(func(c int) error {
+		n, err := f.cells[c].Tick(at, cs[c])
+		nows[c] = n
+		return err
+	})
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	for _, n := range nows {
+		if n > now {
+			now = n
+		}
+	}
+	return now, err
+}
+
+// fanOut runs fn for every cell concurrently and returns the first error
+// (by cell index).
+func (f *Fleet) fanOut(fn func(c int) error) error {
+	errs := make([]error, len(f.cells))
+	var wg sync.WaitGroup
+	for c := range f.cells {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[c] = fn(c)
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// FleetSnapshot is the /snapshot payload of a fleet: one read-only sample
+// per cell, taken concurrently at each cell's current virtual time.
+type FleetSnapshot struct {
+	Cells []metrics.Sample `json:"cells"`
+}
+
+// Snapshot measures every cell without advancing time.
+func (f *Fleet) Snapshot() (FleetSnapshot, error) {
+	out := FleetSnapshot{Cells: make([]metrics.Sample, len(f.cells))}
+	err := f.fanOut(func(c int) error {
+		s, err := f.cells[c].Snapshot()
+		out.Cells[c] = s
+		return err
+	})
+	return out, err
+}
+
+// FleetStats is the /stats payload of a fleet: summed serving counters over
+// the federation plus the per-cell breakdown.
+type FleetStats struct {
+	Pool       string        `json:"pool"`
+	Policy     string        `json:"policy"`
+	Router     string        `json:"router"`
+	CellCount  int           `json:"cells"`
+	Hosts      int           `json:"hosts"`
+	VMs        int           `json:"vms"`
+	NowNS      time.Duration `json:"now_ns"` // furthest cell clock
+	Placements int           `json:"placements"`
+	Exits      int           `json:"exits"`
+	Failed     int           `json:"failed"`
+	ModelCalls int64         `json:"model_calls,omitempty"`
+	QueueDepth int           `json:"queue_depth"`
+	// Pending counts sequenced requests parked fleet-wide: in the global
+	// sequencer and in every cell's reorder buffer.
+	Pending   int        `json:"pending_seq"`
+	Draining  bool       `json:"draining"`
+	Memo      *MemoStats `json:"memo,omitempty"`
+	CellStats []Stats    `json:"cell_stats"`
+}
+
+// Stats gathers per-cell serving counters and rolls them up.
+func (f *Fleet) Stats() (FleetStats, error) {
+	st := FleetStats{
+		Pool:      f.cfg.PoolName,
+		Policy:    f.policy,
+		Router:    f.RouterName(),
+		CellCount: len(f.cells),
+		Draining:  f.draining.Load(),
+		CellStats: make([]Stats, len(f.cells)),
+	}
+	err := f.fanOut(func(c int) error {
+		s, err := f.cells[c].Stats()
+		st.CellStats[c] = s
+		return err
+	})
+	if err != nil {
+		return FleetStats{}, err
+	}
+	for _, s := range st.CellStats {
+		st.Hosts += s.Hosts
+		st.VMs += s.VMs
+		st.Placements += s.Placements
+		st.Exits += s.Exits
+		st.Failed += s.Failed
+		st.ModelCalls += s.ModelCalls
+		st.QueueDepth += s.QueueDepth
+		st.Pending += s.Pending
+		if s.NowNS > st.NowNS {
+			st.NowNS = s.NowNS
+		}
+	}
+	f.mu.Lock()
+	for _, n := range f.parked {
+		st.Pending += n
+	}
+	f.mu.Unlock()
+	if f.cfg.Memo != nil {
+		// The memo table is fleet-wide; the per-cell stats each carry the
+		// same shared counters, so report it once at the top level only.
+		ms := f.cfg.Memo.Stats()
+		st.Memo = &ms
+		for c := range st.CellStats {
+			st.CellStats[c].Memo = nil
+		}
+	}
+	return st, nil
+}
+
+// Drain gracefully finishes the federation: new mutating work is rejected,
+// the global sequencer is flushed — parked requests released strictly in
+// ascending sequence order, gaps notwithstanding — every in-flight dispatch
+// is allowed to land, and then every cell drains concurrently. The per-cell
+// results roll up through cell.RollUp into the fleet-level report.
+// Idempotent: later calls return the same rollup.
+func (f *Fleet) Drain() (*cell.Rollup, error) {
+	f.draining.Store(true)
+	f.mu.Lock()
+	for f.drainBusy && !f.finalSet && !f.closed {
+		f.cond.Wait()
+	}
+	if f.finalSet {
+		roll, err := f.finalRoll, f.finalErr
+		f.mu.Unlock()
+		return roll, err
+	}
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	f.drainBusy = true
+	// Flush the sequencer: open the gate for the lowest parked sequence,
+	// let its waiter route (advancing nextSeq), repeat; then wait out the
+	// dispatches. Releasing one gap at a time keeps the flushed requests
+	// routing in ascending sequence order, exactly like the per-cell
+	// reorder buffer's gap flush.
+	for !f.closed {
+		if len(f.parked) > 0 {
+			min := uint64(0)
+			for q := range f.parked {
+				if min == 0 || q < min {
+					min = q
+				}
+			}
+			if min > f.nextSeq {
+				f.nextSeq = min
+			}
+			f.cond.Broadcast()
+			f.cond.Wait()
+			continue
+		}
+		if f.inflight > 0 {
+			f.cond.Wait()
+			continue
+		}
+		break
+	}
+	f.flushed = true
+	f.cond.Broadcast()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		f.mu.Lock()
+		f.drainBusy = false
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+
+	results := make([]*sim.Result, len(f.cells))
+	err := f.fanOut(func(c int) error {
+		res, err := f.cells[c].Drain()
+		results[c] = res
+		return err
+	})
+	var roll *cell.Rollup
+	if err == nil {
+		roll, err = cell.RollUp(f.RouterName(), f.hosts, results)
+	}
+	f.mu.Lock()
+	f.finalRoll, f.finalErr, f.finalSet = roll, err, true
+	f.drainBusy = false
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	return roll, err
+}
+
+// FleetDrainResponse is the wire form of a fleet drain: the single-server
+// DrainResponse fields hold the host-weighted fleet rollup (so single-pool
+// clients keep working unchanged), and the federation breakdown rides
+// alongside.
+type FleetDrainResponse struct {
+	Pool      string          `json:"pool"`
+	Policy    string          `json:"policy"`
+	Metrics   *runner.Metrics `json:"metrics"`
+	SeriesLen int             `json:"series_len"`
+
+	Router     string          `json:"router,omitempty"`
+	Hosts      []int           `json:"hosts,omitempty"`
+	UtilSpread float64         `json:"util_spread,omitempty"`
+	Cells      []DrainResponse `json:"cells,omitempty"`
+}
+
+// drainResponse assembles the wire payload from a rollup.
+func (f *Fleet) drainResponse(roll *cell.Rollup) FleetDrainResponse {
+	out := FleetDrainResponse{
+		Pool:   f.cfg.PoolName,
+		Policy: f.policy,
+		Metrics: &runner.Metrics{
+			AvgEmptyHostFrac:  roll.AvgEmptyHostFrac,
+			AvgEmptyToFree:    roll.AvgEmptyToFree,
+			AvgPackingDensity: roll.AvgPackingDensity,
+			AvgCPUUtil:        roll.AvgCPUUtil,
+			Placements:        roll.Placements,
+			Exits:             roll.Exits,
+			Failed:            roll.Failed,
+			Killed:            roll.Killed,
+			ModelCalls:        roll.ModelCalls,
+		},
+		Router:     roll.Router,
+		Hosts:      roll.Hosts,
+		UtilSpread: roll.UtilSpread,
+		Cells:      make([]DrainResponse, len(roll.Cells)),
+	}
+	for i, res := range roll.Cells {
+		out.SeriesLen += res.Series.Len()
+		out.Cells[i] = DrainResponse{
+			Pool:      res.PoolName,
+			Policy:    res.Policy,
+			Metrics:   runner.MetricsOf(res),
+			SeriesLen: res.Series.Len(),
+		}
+	}
+	return out
+}
+
+// Handler returns the fleet's HTTP API — the same six endpoints a single
+// Server exposes, with rolled-up payloads where the federation shows:
+//
+//	POST /place    PlaceRequest  -> PlaceResponse (routed to a cell)
+//	POST /exit     ExitRequest   -> ExitResponse  (follows the VM's cell)
+//	POST /tick     TickRequest   -> TickResponse  (fan-out)
+//	GET  /stats                  -> FleetStats
+//	GET  /snapshot               -> FleetSnapshot
+//	POST /drain                  -> FleetDrainResponse
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/place", f.handlePlace)
+	mux.HandleFunc("/exit", f.handleExit)
+	mux.HandleFunc("/tick", f.handleTick)
+	mux.HandleFunc("/stats", f.handleStats)
+	mux.HandleFunc("/snapshot", f.handleSnapshot)
+	mux.HandleFunc("/drain", f.handleDrain)
+	return mux
+}
+
+func (f *Fleet) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req PlaceRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	host, placed, err := f.Place(req.Record, req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, PlaceResponse{Host: host, Placed: placed})
+}
+
+func (f *Fleet) handleExit(w http.ResponseWriter, r *http.Request) {
+	var req ExitRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	removed, err := f.ExitVM(req.ID, req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, ExitResponse{Removed: removed})
+}
+
+func (f *Fleet) handleTick(w http.ResponseWriter, r *http.Request) {
+	var req TickRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	now, err := f.Tick(req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, TickResponse{Now: now})
+}
+
+func (f *Fleet) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodErr(w)
+		return
+	}
+	st, err := f.Stats()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (f *Fleet) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodErr(w)
+		return
+	}
+	snap, err := f.Snapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodErr(w)
+		return
+	}
+	roll, err := f.Drain()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, f.drainResponse(roll))
+}

@@ -325,6 +325,7 @@ func (s *Server) loop() {
 				break fill
 			}
 		}
+		clampBatch(batch, s.m.Now())
 		orderBatch(batch)
 
 		drains = drains[:0]
@@ -378,6 +379,22 @@ func (s *Server) loop() {
 			final, err := s.m.Finish()
 			drained = true
 			d.resp <- response{final: final, err: err}
+		}
+	}
+}
+
+// clampBatch clamps backward virtual times to the machine's current
+// position, the documented "clamped forward" semantics of Place/ExitVM/
+// Tick. The machine clamps again at apply time, so this is not about the
+// effective event time — it is about ordering: orderBatch sorts on at, and
+// an unclamped stale timestamp would sort its request ahead of same-batch
+// events it actually applies after (a backward placement slipping in front
+// of an exit, inverting the canonical exits-before-places order at their
+// shared effective time).
+func clampBatch(batch []*request, now time.Duration) {
+	for _, r := range batch {
+		if mutating(r.kind) && r.at < now {
+			r.at = now
 		}
 	}
 }

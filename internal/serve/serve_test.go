@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -365,6 +366,156 @@ func TestCloseUnblocksClients(t *testing.T) {
 	}
 	if _, _, err := s.Place(trace.Record{ID: 2, Lifetime: time.Hour, Shape: shape}, 0, 0); err == nil {
 		t.Fatal("closed server accepted work")
+	}
+}
+
+// TestClampBatchRestoresCanonicalOrder is the backward-virtual-time
+// regression: a placement carrying a timestamp older than the machine's
+// position must not sort ahead of an exit it actually applies after. With
+// the clamp, both land on the machine's current time and the canonical
+// exits-before-places order decides.
+func TestClampBatchRestoresCanonicalOrder(t *testing.T) {
+	place := newRequest(reqPlace)
+	place.at, place.rec.ID = 10, 2
+	exit := newRequest(reqExit)
+	exit.at, exit.id = 100, 9
+	batch := []*request{place, exit}
+
+	clampBatch(batch, 200)
+	orderBatch(batch)
+	if batch[0].kind != reqExit || batch[1].kind != reqPlace {
+		t.Fatalf("backward place sorted ahead of the exit: got %d then %d", batch[0].kind, batch[1].kind)
+	}
+	if place.at != 200 || exit.at != 200 {
+		t.Fatalf("stale times not clamped to now: place %v exit %v", place.at, exit.at)
+	}
+	// Reads and drains are untouched: they sort by kind, not at.
+	stats := newRequest(reqStats)
+	stats.at = -5
+	clampBatch([]*request{stats}, 200)
+	if stats.at != -5 {
+		t.Fatalf("non-mutating request clamped to %v", stats.at)
+	}
+}
+
+// TestBackwardTimeClampedOnAPI pins the documented serving semantics end to
+// end: Place, ExitVM and Tick with at < Now apply at the server's current
+// time — no error, no time travel.
+func TestBackwardTimeClampedOnAPI(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 0}
+	s, err := New(Config{PoolName: "clamp", Hosts: 2, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.Tick(2*time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Backward tick: clamped, reports the time actually reached.
+	now, err := s.Tick(time.Hour, 0)
+	if err != nil {
+		t.Fatalf("backward tick errored: %v", err)
+	}
+	if now != 2*time.Hour {
+		t.Fatalf("backward tick reached %v, want the clamped 2h", now)
+	}
+	// Backward placement and exit: both apply at the current time.
+	if _, placed, err := s.Place(trace.Record{ID: 1, Lifetime: time.Hour, Shape: shape}, 30*time.Minute, 0); err != nil || !placed {
+		t.Fatalf("backward place: placed=%v err=%v", placed, err)
+	}
+	if removed, err := s.ExitVM(1, 45*time.Minute, 0); err != nil || !removed {
+		t.Fatalf("backward exit: removed=%v err=%v", removed, err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NowNS != 2*time.Hour {
+		t.Fatalf("backward events moved time to %v", st.NowNS)
+	}
+	if st.Placements != 1 || st.Exits != 1 {
+		t.Fatalf("clamped events not counted: %+v", st)
+	}
+}
+
+// TestDrainFlushesGappedPendingInOrder covers the multi-gap flush branch:
+// several sequenced requests parked behind missing predecessors must be
+// applied in ascending sequence order by the drain (observable through
+// best-fit host assignment with whole-host VMs), and the buffer's cursor
+// must land past the highest flushed sequence.
+func TestDrainFlushesGappedPendingInOrder(t *testing.T) {
+	shape := resources.Vector{CPUMilli: 1000, MemoryMB: 1000, SSDGB: 0}
+	s, err := New(Config{PoolName: "gaps", Hosts: 4, HostShape: shape, Policy: scheduler.NewBestFit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Seqs 2, 4, 5 park (1 and 3 never arrive). Whole-host VMs under
+	// best-fit expose application order as host IDs 0, 1, 2.
+	seqs := []uint64{2, 4, 5}
+	hosts := make([]cluster.HostID, len(seqs))
+	var wg sync.WaitGroup
+	for i, q := range seqs {
+		i, q := i, q
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := trace.Record{ID: cluster.VMID(q), Lifetime: time.Hour, Shape: shape}
+			h, placed, err := s.Place(rec, time.Duration(q)*time.Second, q)
+			if err != nil || !placed {
+				t.Errorf("seq %d: placed=%v err=%v", q, placed, err)
+				return
+			}
+			hosts[i] = h
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Pending == len(seqs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d sequenced requests parked", st.Pending, len(seqs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if res.Placements != len(seqs) {
+		t.Fatalf("drain flushed %d placements, want %d", res.Placements, len(seqs))
+	}
+	for i := range seqs {
+		if hosts[i] != cluster.HostID(i) {
+			t.Fatalf("flush order broken: seq %d landed on host %d, want %d", seqs[i], hosts[i], i)
+		}
+	}
+
+	// After the flush, drained is set and nextSeq is seqs[last]+1 = 6: any
+	// late sequenced request — stale, in-gap, or future — must be answered
+	// with ErrDraining rather than parked forever or misreported as stale.
+	for _, q := range []uint64{3, 6} {
+		r := newRequest(reqPlace)
+		r.rec = trace.Record{ID: cluster.VMID(100 + q), Lifetime: time.Hour, Shape: shape}
+		r.seq = q
+		s.reqs <- r
+		select {
+		case resp := <-r.resp:
+			if !errors.Is(resp.err, ErrDraining) {
+				t.Fatalf("post-drain seq %d: got %v, want ErrDraining", q, resp.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("post-drain seq %d parked forever", q)
+		}
 	}
 }
 

@@ -395,7 +395,88 @@ func Serve(ctx context.Context, addr string, tr *Trace, cfg ServeConfig) error {
 		return err
 	}
 	defer srv.Close()
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	return serveHTTP(ctx, addr, srv.Handler())
+}
+
+// FleetConfig shapes NewFleet and ServeFleet: the single-server ServeConfig
+// plus the federation dimensions.
+type FleetConfig struct {
+	ServeConfig
+
+	// Cells is the number of independent serving cells (default 1). Each
+	// cell owns its own pool, policy instance and event loop, so a fleet
+	// serves placements in parallel across cores.
+	Cells int
+
+	// Router picks how placements map to cells (default RouterFeatureHash).
+	// RouterLeastUtilized is served live: it consults the fleet's running
+	// commitment ledger instead of the offline router's ground-truth
+	// lifetime heap.
+	Router RouterKind
+}
+
+// NewFleet builds a federated placement front-end (serve.Fleet) over the
+// trace's pool geometry: hosts split evenly across cfg.Cells exactly as
+// cell.SplitHosts shards them offline, one policy instance per cell, one
+// shared prediction memo-cache. Replaying a trace against the fleet
+// reproduces cell.PlanCells + per-cell Simulate byte-for-byte for the
+// statically routed router kinds — the parity test in internal/serve
+// asserts it.
+func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
+	kind := cfg.Policy
+	if kind == "" {
+		kind = PolicyLAVA
+	}
+	pred := cfg.Pred
+	var memo *serve.MemoPredictor
+	if cfg.Memo && pred != nil {
+		memo = serve.Memoize(pred, 0)
+		pred = memo
+	}
+	refresh := cfg.CacheRefresh
+	switch {
+	case refresh == 0:
+		refresh = time.Minute
+	case refresh < 0:
+		refresh = 0
+	}
+	router := cfg.Router
+	if router == "" {
+		router = RouterFeatureHash
+	}
+	fc := serve.FleetFromTrace(tr)
+	fc.Cells = cfg.Cells
+	if fc.Cells <= 0 {
+		fc.Cells = 1
+	}
+	fc.Router = string(router)
+	fc.TickEvery = cfg.TickEvery
+	fc.SampleEvery = cfg.SampleEvery
+	fc.QueueDepth = cfg.QueueDepth
+	fc.Memo = memo
+	fc.NewPolicy = func(int) (scheduler.Policy, error) {
+		return newPolicy(kind, pred, refresh)
+	}
+	return serve.NewFleet(fc)
+}
+
+// ServeFleet runs a federated placement fleet on addr until ctx is
+// cancelled: the multi-cell form of Serve, same HTTP surface, rolled-up
+// stats and drain. It blocks for the fleet's lifetime; a clean shutdown
+// returns nil.
+func ServeFleet(ctx context.Context, addr string, tr *Trace, cfg FleetConfig) error {
+	fleet, err := NewFleet(tr, cfg)
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	return serveHTTP(ctx, addr, fleet.Handler())
+}
+
+// serveHTTP runs handler on addr until ctx cancels, then shuts the
+// listener down gracefully. Shared by Serve and ServeFleet.
+func serveHTTP(ctx context.Context, addr string, handler http.Handler) error {
+	hs := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
