@@ -14,6 +14,7 @@ import (
 	"lava/internal/defrag"
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
+	"lava/internal/ptrace"
 	"lava/internal/scheduler"
 	"lava/internal/sim"
 	"lava/internal/simtime"
@@ -180,6 +181,37 @@ func BenchmarkFig14SimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(events, "events/op")
+}
+
+// BenchmarkTraceOverhead prices decision tracing on the Fig. 6 fixture
+// under LAVA, the heaviest scheduling path: "off" is the untraced baseline
+// (the hot path must be unaffected — it stays inside the gated
+// BenchmarkFig6 budget), "k3" records every decision with the top-3 scored
+// alternatives into an unbounded recorder. The k3 cell is tracked in
+// BENCH_trace.json by the bench-smoke CI job but intentionally NOT
+// benchstat-gated: recording cost is an opt-in observability price, not a
+// hot-path regression.
+func BenchmarkTraceOverhead(b *testing.B) {
+	tr := benchTrace(b)
+	pred := benchModel(b, tr)
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewLAVA(pred, time.Minute)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("k3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := ptrace.New(ptrace.Options{K: 3, Policy: "lava"})
+			if _, err := sim.Run(sim.Config{Trace: tr, Policy: scheduler.NewLAVA(pred, time.Minute), Tracer: rec}); err != nil {
+				b.Fatal(err)
+			}
+			if rec.Len() == 0 {
+				b.Fatal("traced run recorded nothing")
+			}
+		}
+	})
 }
 
 // BenchmarkFig15NoisyOracle runs one accuracy point of the Fig. 15 sweep.

@@ -13,6 +13,9 @@
 //	experiments -exp fig13 -parallel 8 -canonical -json out.json  # CI determinism gate
 //	experiments -exp scale -parallel 1 -json BENCH_scale.json  # pool-scale sweep
 //	experiments -exp fig13 -exhaustive -canonical -json ref.json  # reference engine
+//	experiments -exp fig13 -trace -canonical -json out.json  # tracing is observe-only
+//	experiments -exp fig13 -trace-out traces.json            # decision streams, top-K alts
+//	experiments -counterfactual lava,wastemin                # trace-replay differential
 //
 // Simulation batches fan out across -parallel workers (default GOMAXPROCS;
 // results are identical at any worker count, see internal/runner). Progress
@@ -26,6 +29,23 @@
 // the incremental score cache (see DESIGN.md §6). Results are byte-identical
 // either way; CI's determinism job diffs the two canonical documents to
 // prove it on the fig13 and scenarios matrices.
+//
+// Decision tracing (this PR) records, per placement decision, the chosen
+// host plus the top-K scored alternatives (see internal/ptrace). -trace
+// turns it on for every simulation job, -trace-k sets K (default 8, implies
+// -trace), and -trace-out writes all recorded streams as one indented JSON
+// document keyed "experiment/job" ('-' for stdout, implies -trace). Tracing
+// is observe-only: -json output is byte-identical with it on or off, and
+// trace documents are identical at any -parallel setting — both diffed by
+// the CI determinism job.
+//
+// -counterfactual A,B replays policy A's recorded fig13-fixture decision
+// stream under policy B without re-simulating (names as -exp policies:
+// wastemin | bestfit | nilas | lava | la-binary). It first proves A's
+// self-replay is exact and that a full re-simulation under B agrees with
+// the replay's first divergence, then prints the divergence/regret report;
+// parity violations exit non-zero. It runs instead of -exp and ignores
+// -json.
 //
 // The scenarios experiment (PR 2) takes three extra knobs, ignored by the
 // classic table/figure experiments:
@@ -59,6 +79,7 @@ import (
 	"time"
 
 	"lava/internal/experiments"
+	"lava/internal/ptrace"
 	"lava/internal/runner"
 )
 
@@ -75,6 +96,10 @@ func main() {
 		canonical  = flag.Bool("canonical", false, "strip timings/worker counts from -json output so runs at any -parallel diff byte-identically")
 		exhaustive = flag.Bool("exhaustive", false, "run policies on the exhaustive scoring engine instead of the incremental score cache (results are byte-identical; CI diffs the two)")
 		progress   = flag.Bool("progress", false, "report batch progress and ETA on stderr")
+		traceOn    = flag.Bool("trace", false, "record per-decision traces (chosen host + top-K alternatives) in every simulation job")
+		traceK     = flag.Int("trace-k", 0, "top-K scored alternatives per traced decision (default 8; > 0 implies -trace)")
+		traceOut   = flag.String("trace-out", "", "write all recorded decision streams as one JSON document ('-' for stdout; implies -trace)")
+		counter    = flag.String("counterfactual", "", "replay policy A's fig13-fixture trace under policy B, as 'A,B'; runs instead of -exp")
 	)
 	flag.Parse()
 
@@ -87,6 +112,17 @@ func main() {
 		Scale: *scale, Seed: *seed, Parallel: *parallel,
 		Cells: *cells, Scenario: *scen, Router: *router,
 		Exhaustive: *exhaustive,
+	}
+	if *traceOn || *traceK > 0 || *traceOut != "" {
+		opt.TraceK = *traceK
+		if opt.TraceK <= 0 {
+			opt.TraceK = ptrace.DefaultK
+		}
+	}
+	var traces *ptrace.Sink
+	if *traceOut != "" {
+		traces = &ptrace.Sink{}
+		opt.Traces = traces
 	}
 	if *progress {
 		opt.Progress = func(p runner.Progress) {
@@ -101,6 +137,21 @@ func main() {
 	if *jsonOut != "" {
 		sink = &runner.Sink{}
 		opt.Sink = sink
+	}
+
+	if *counter != "" {
+		ab := strings.Split(*counter, ",")
+		if len(ab) != 2 {
+			fmt.Fprintf(os.Stderr, "experiments: -counterfactual wants 'A,B', got %q\n", *counter)
+			os.Exit(1)
+		}
+		rep, err := experiments.Counterfactual(opt, strings.TrimSpace(ab[0]), strings.TrimSpace(ab[1]))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: counterfactual: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Render(os.Stdout)
+		return
 	}
 
 	start := time.Now()
@@ -132,6 +183,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if traces != nil {
+		if err := writeTraces(*traceOut, traces); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: write traces: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTraces writes the recorded decision streams to path, or stdout
+// for "-".
+func writeTraces(path string, traces *ptrace.Sink) error {
+	if path == "-" {
+		return traces.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traces.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeDoc writes the JSON document to path, or stdout for "-".

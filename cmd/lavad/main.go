@@ -10,6 +10,16 @@
 //	lavad -trace trace.jsonl -policy nilas -model gbdt -addr 127.0.0.1:9000
 //	lavad -trace trace.jsonl -model oracle           # memo auto-disabled
 //	lavad -trace trace.jsonl -cells 4 -router feature-hash   # federated fleet
+//	lavad -trace trace.jsonl -trace-k 3                      # decision tracing on /trace
+//	lavad -trace trace.jsonl -trace-k 8 -trace-out dec.jsonl # + persistent JSONL stream
+//
+// -trace-k K > 0 enables decision tracing: every placement decision is
+// recorded with the chosen host and its top-K scored alternatives, held in
+// a ring of -trace-buf decisions (default 8192, -1 unbounded) and served
+// over GET /trace (filters: vm, host, from_ns, to_ns, after, limit; in
+// fleet mode add cell=N). -trace-out streams decisions to a JSONL file as
+// they happen (single-cell only). Tracing is observe-only — placement
+// decisions are identical with it on or off.
 //
 // With -cells N > 1 the daemon serves a federated fleet: N independent
 // per-cell event loops (parallel across cores) behind a router chosen by
@@ -54,6 +64,9 @@ func main() {
 		queue     = flag.Int("queue", 0, "admission queue depth (default 256)")
 		cells     = flag.Int("cells", 1, "serving cells; > 1 federates the pool behind a router")
 		router    = flag.String("router", "feature-hash", "fleet router: round-robin | least-utilized | feature-hash")
+		traceK    = flag.Int("trace-k", 0, "record decision traces with this many scored alternatives (0 disables; served at /trace)")
+		traceBuf  = flag.Int("trace-buf", 0, "decision trace ring capacity (0 = default 8192, -1 = unbounded)")
+		traceOut  = flag.String("trace-out", "", "stream recorded decisions to this JSONL file (single-cell only; requires -trace-k)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -99,6 +112,22 @@ func main() {
 		TickEvery:    *tick,
 		SampleEvery:  *sample,
 		QueueDepth:   *queue,
+		TraceK:       *traceK,
+		TraceCap:     *traceBuf,
+	}
+	if *traceOut != "" {
+		if *traceK <= 0 {
+			fatal(fmt.Errorf("-trace-out requires -trace-k > 0"))
+		}
+		if *cells > 1 {
+			fatal(fmt.Errorf("-trace-out is single-cell only; query /trace?cell=N in fleet mode"))
+		}
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		sc.TraceOut = tf
 	}
 	if *cells > 1 {
 		fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts, %d cells via %s), policy %s, model %s (memo %v), horizon %v\n",

@@ -9,6 +9,7 @@ import (
 
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
+	"lava/internal/ptrace"
 	"lava/internal/runner"
 	"lava/internal/scheduler"
 	"lava/internal/sim"
@@ -58,6 +59,21 @@ type Options struct {
 	// Sink, if non-nil, collects machine-readable per-batch results for
 	// BENCH_*.json trajectory output.
 	Sink *runner.Sink
+
+	// TraceK > 0 enables decision tracing in every simulation job: each
+	// run records its full decision stream (unbounded — trace documents
+	// feed counterfactual replay) with the top-K scored alternatives per
+	// placement. Tracing is observe-only; results are byte-identical with
+	// it on or off, which the CI determinism job checks.
+	TraceK int
+
+	// Traces, if non-nil, collects each traced job's decision stream keyed
+	// "experiment/job" for -trace-out.
+	Traces *ptrace.Sink
+
+	// traceExp prefixes trace stream names with the experiment ID; set by
+	// Run so job names stay unique across -exp lists.
+	traceExp string
 }
 
 func (o Options) withDefaults() Options {
@@ -122,7 +138,9 @@ func Run(name string, opt Options) (Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return r(opt.withDefaults())
+	opt = opt.withDefaults()
+	opt.traceExp = name
+	return r(opt)
 }
 
 // --- concurrent execution ------------------------------------------------
@@ -160,7 +178,21 @@ func (o Options) policy(p scheduler.Policy) scheduler.Policy {
 // caches, so each job builds its own inside the closure.
 func simJob(opt Options, name string, seed int64, tr *trace.Trace, pol func() scheduler.Policy) runner.Job {
 	return runner.Job{Name: name, Seed: seed, Run: func() (*sim.Result, error) {
-		return sim.Run(sim.Config{Trace: tr, Policy: opt.policy(pol())})
+		cfg := sim.Config{Trace: tr, Policy: opt.policy(pol())}
+		var rec *ptrace.Recorder
+		if opt.TraceK > 0 {
+			rec = ptrace.New(ptrace.Options{K: opt.TraceK, Policy: cfg.Policy.Name()})
+			cfg.Tracer = rec
+		}
+		res, err := sim.Run(cfg)
+		if err == nil && rec != nil && opt.Traces != nil {
+			stream := name
+			if opt.traceExp != "" {
+				stream = opt.traceExp + "/" + name
+			}
+			opt.Traces.Add(stream, rec)
+		}
+		return res, err
 	}}
 }
 

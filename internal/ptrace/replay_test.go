@@ -1,0 +1,142 @@
+package ptrace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lava/internal/model"
+	"lava/internal/ptrace"
+	"lava/internal/scheduler"
+	"lava/internal/sim"
+	"lava/internal/simtime"
+	"lava/internal/trace"
+	"lava/internal/workload"
+)
+
+func replayTrace(t *testing.T, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.PoolSpec{
+		Name: "replay-test", Zone: "z1", Hosts: 16, TargetUtil: 0.6,
+		Duration: 3 * simtime.Day, Prefill: 2 * simtime.Day,
+		Seed: seed, Diurnal: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func recordRun(t *testing.T, tr *trace.Trace, pol scheduler.Policy) *ptrace.Recorder {
+	t.Helper()
+	rec := ptrace.New(ptrace.Options{K: 4, Policy: pol.Name()})
+	if _, err := sim.Run(sim.Config{Trace: tr, Policy: pol, Tracer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func replayCfg(tr *trace.Trace, pol scheduler.Policy) ptrace.ReplayConfig {
+	return ptrace.ReplayConfig{
+		PoolName:  tr.PoolName,
+		Hosts:     tr.Hosts,
+		HostShape: tr.HostShape(),
+		Policy:    pol,
+	}
+}
+
+// TestReplaySelfParity is the first parity anchor: replaying a policy's own
+// decision stream under a fresh instance of the same policy reproduces
+// every decision exactly.
+func TestReplaySelfParity(t *testing.T) {
+	tr := replayTrace(t, 11)
+	for _, mk := range []func() scheduler.Policy{
+		func() scheduler.Policy { return scheduler.NewWasteMin() },
+		func() scheduler.Policy { return scheduler.NewNILAS(model.Oracle{}, time.Minute) },
+		func() scheduler.Policy { return scheduler.NewLAVA(model.Oracle{}, time.Minute) },
+	} {
+		pol := mk()
+		rec := recordRun(t, tr, pol)
+		rep, err := ptrace.Replay(replayCfg(tr, mk()), rec.Decisions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Divergences) != 0 {
+			t.Fatalf("%s self-replay diverged %d times, first at seq %d",
+				pol.Name(), len(rep.Divergences), rep.Divergences[0].Seq)
+		}
+		if rep.Matches != rep.Decisions || rep.Decisions == 0 {
+			t.Fatalf("%s self-replay: %d matches of %d decisions", pol.Name(), rep.Matches, rep.Decisions)
+		}
+		if rep.TotalRegret != 0 {
+			t.Fatalf("%s self-replay regret = %v", pol.Name(), rep.TotalRegret)
+		}
+	}
+}
+
+// TestReplayCrossPolicy replays a waste-min stream under NILAS and checks
+// the report's internal consistency: counts add up, and every priced
+// divergence carries a level within the candidate's chain and a regret
+// whose sign says the candidate preferred its own pick.
+func TestReplayCrossPolicy(t *testing.T) {
+	tr := replayTrace(t, 12)
+	rec := recordRun(t, tr, scheduler.NewWasteMin())
+	rep, err := ptrace.Replay(replayCfg(tr, scheduler.NewNILAS(model.Oracle{}, time.Minute)), rec.Decisions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches+len(rep.Divergences) != rep.Decisions {
+		t.Fatalf("matches %d + divergences %d != decisions %d", rep.Matches, len(rep.Divergences), rep.Decisions)
+	}
+	if len(rep.Divergences) == 0 {
+		t.Fatal("lifetime-aware NILAS should diverge from waste-min somewhere")
+	}
+	var regret float64
+	for _, d := range rep.Divergences {
+		if d.Level < -1 || d.Level > 3 {
+			t.Fatalf("divergence level %d out of range: %+v", d.Level, d)
+		}
+		if d.Level >= 0 && d.Regret == 0 {
+			t.Fatalf("priced divergence with zero regret: %+v", d)
+		}
+		if d.Level == -1 && d.Regret != 0 {
+			t.Fatalf("tie divergence with regret: %+v", d)
+		}
+		if d.Recorded == d.Chosen {
+			t.Fatalf("divergence with equal hosts: %+v", d)
+		}
+		regret += d.Regret
+	}
+	if regret != rep.TotalRegret {
+		t.Fatalf("total regret %v != sum %v", rep.TotalRegret, regret)
+	}
+}
+
+// TestReplayRejectsStrippedStreams: a ring-truncated stream (no creation
+// records, or decisions missing entirely) must fail loudly, not replay
+// nonsense.
+func TestReplayRejectsStrippedStreams(t *testing.T) {
+	tr := replayTrace(t, 13)
+	rec := recordRun(t, tr, scheduler.NewWasteMin())
+	ds := rec.Decisions()
+
+	// Strip a creation record.
+	for i := range ds {
+		if ds[i].Kind == ptrace.KindPlace {
+			ds[i].Rec = nil
+			break
+		}
+	}
+	_, err := ptrace.Replay(replayCfg(tr, scheduler.NewWasteMin()), ds)
+	if err == nil || !strings.Contains(err.Error(), "no creation record") {
+		t.Fatalf("stripped stream error = %v", err)
+	}
+
+	// Missing geometry.
+	if _, err := ptrace.Replay(ptrace.ReplayConfig{Policy: scheduler.NewWasteMin()}, nil); err == nil {
+		t.Fatal("replay without pool geometry must fail")
+	}
+	if _, err := ptrace.Replay(ptrace.ReplayConfig{Hosts: 4}, nil); err == nil {
+		t.Fatal("replay without policy must fail")
+	}
+}

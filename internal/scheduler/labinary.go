@@ -54,6 +54,18 @@ func (la *LABinary) SetEngine(e Engine) { la.chain.SetEngine(e) }
 
 func (la *LABinary) engineOf() Engine { return la.chain.engine }
 
+// EnableTrace implements Traceable (see Chain.EnableTrace).
+func (la *LABinary) EnableTrace(k int) { la.chain.EnableTrace(k) }
+
+// LastCapture implements Traceable.
+func (la *LABinary) LastCapture() *Capture { return la.chain.LastCapture() }
+
+// AppendLevelScores implements the counterfactual pricing hook (see
+// Chain.AppendLevelScores).
+func (la *LABinary) AppendLevelScores(dst []float64, h *cluster.Host, vm *cluster.VM, now time.Duration) []float64 {
+	return la.chain.AppendLevelScores(dst, h, vm, now)
+}
+
 // Name implements Policy.
 func (la *LABinary) Name() string { return "la-binary" }
 

@@ -56,6 +56,18 @@ func (l *LAVA) SetEngine(e Engine) { l.chain.SetEngine(e) }
 
 func (l *LAVA) engineOf() Engine { return l.chain.engine }
 
+// EnableTrace implements Traceable (see Chain.EnableTrace).
+func (l *LAVA) EnableTrace(k int) { l.chain.EnableTrace(k) }
+
+// LastCapture implements Traceable.
+func (l *LAVA) LastCapture() *Capture { return l.chain.LastCapture() }
+
+// AppendLevelScores implements the counterfactual pricing hook (see
+// Chain.AppendLevelScores).
+func (l *LAVA) AppendLevelScores(dst []float64, h *cluster.Host, vm *cluster.VM, now time.Duration) []float64 {
+	return l.chain.AppendLevelScores(dst, h, vm, now)
+}
+
 // vmClass computes the VM's lifetime class from a (re)prediction at its
 // current uptime — new VMs at uptime zero, migrating VMs at their age.
 func (l *LAVA) vmClass(vm *cluster.VM, now time.Duration) simtime.LifetimeClass {

@@ -42,6 +42,18 @@ func (n *NILAS) SetEngine(e Engine) { n.chain.SetEngine(e) }
 
 func (n *NILAS) engineOf() Engine { return n.chain.engine }
 
+// EnableTrace implements Traceable (see Chain.EnableTrace).
+func (n *NILAS) EnableTrace(k int) { n.chain.EnableTrace(k) }
+
+// LastCapture implements Traceable.
+func (n *NILAS) LastCapture() *Capture { return n.chain.LastCapture() }
+
+// AppendLevelScores implements the counterfactual pricing hook (see
+// Chain.AppendLevelScores).
+func (n *NILAS) AppendLevelScores(dst []float64, h *cluster.Host, vm *cluster.VM, now time.Duration) []float64 {
+	return n.chain.AppendLevelScores(dst, h, vm, now)
+}
+
 // alignment scores hosts by how *similar* their exit is to the VM's,
 // quantized with the temporal-cost buckets. It is not part of the default
 // chain: under noisy model predictions, preferring exact exit matches

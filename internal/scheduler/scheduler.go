@@ -57,6 +57,7 @@ type Chain struct {
 
 	cand    []*cluster.Host // reused candidate buffer
 	scratch []*cluster.Host // reused per-level filter buffer
+	tr      *capState       // decision capture; nil = tracing disarmed
 }
 
 // Name implements Policy.
@@ -66,10 +67,16 @@ func (c *Chain) Name() string { return c.ChainName }
 func (c *Chain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
 	candidates := pool.AppendFeasible(c.cand[:0], vm.Shape)
 	c.cand = candidates
+	if c.tr != nil {
+		c.tr.begin(len(candidates))
+	}
 	if len(candidates) == 0 {
 		return nil, ErrNoCapacity
 	}
 	candidates = c.applyChain(candidates, 0, c, vm, now)
+	if c.tr != nil && !c.tr.scored {
+		c.tr.captureSingle(c, candidates[0], vm, now)
+	}
 	// Deterministic tie-break: lowest host ID. AppendFeasible returns hosts
 	// in ID order and the filtering preserves it, so the first candidate
 	// wins.
@@ -102,10 +109,17 @@ func (c *Chain) applyChain(candidates []*cluster.Host, from int, src levelScorer
 		if len(candidates) == 1 {
 			break
 		}
+		obs := c.tr // capture level-0 scores as they are computed anyway
+		if li != 0 {
+			obs = nil
+		}
 		best := 0.0
 		scratch = scratch[:0]
 		for i, h := range candidates {
 			sc := src.levelScore(li, h, vm, now)
+			if obs != nil {
+				obs.observe(h.ID, sc)
+			}
 			switch {
 			case i == 0 || sc < best-scoreEpsilon:
 				best = sc
@@ -115,6 +129,9 @@ func (c *Chain) applyChain(candidates []*cluster.Host, from int, src levelScorer
 			}
 		}
 		candidates = append(candidates[:0], scratch...)
+		if c.tr != nil && c.tr.Level < 0 && len(candidates) == 1 {
+			c.tr.Level = li
+		}
 	}
 	c.scratch = scratch
 	return candidates

@@ -152,6 +152,17 @@ func (c *CachedChain) DirtyAll() {
 	}
 }
 
+// EnableTrace implements Traceable. Beyond arming the embedded chain it
+// classifies level 0: a dynamic level 0 (or a TimeVarying chain) must never
+// be evaluated outside the filter scan, so single-candidate decisions are
+// recorded unscored on both engines.
+func (c *CachedChain) EnableTrace(k int) {
+	c.Chain.EnableTrace(k)
+	if c.Chain.tr != nil {
+		c.Chain.tr.dyn0 = c.dyn(0) || c.TimeVarying
+	}
+}
+
 // dyn reports whether level li is dynamic.
 func (c *CachedChain) dyn(li int) bool {
 	return li < len(c.Dynamic) && c.Dynamic[li]
@@ -175,6 +186,9 @@ func (c *CachedChain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Dura
 	candidates := cs.candidates(c.cand[:0], c.hosts)
 	c.cand = candidates
 	if len(candidates) == 0 {
+		if c.Chain.tr != nil {
+			c.Chain.tr.begin(0)
+		}
 		return nil, ErrNoCapacity
 	}
 	// A static level 0 was consumed by the bucket structure: the winning
@@ -187,9 +201,31 @@ func (c *CachedChain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Dura
 	if c.dyn(0) {
 		from = 0
 	}
+	if t := c.Chain.tr; t != nil {
+		if c.dyn(0) {
+			// Dynamic level 0: candidates is the full feasible set and
+			// applyChain starts at 0, so capture rides the filter scan
+			// exactly as on the exhaustive engine.
+			t.begin(len(candidates))
+		} else {
+			// Static level 0: read the K best (score, ID) pairs straight
+			// off the sorted buckets. A one-member winning bucket among
+			// several feasible hosts means level 0 decided — the filter
+			// the exhaustive engine would have run at level 0.
+			t.captureBuckets(cs)
+			if t.Feasible > 1 && len(candidates) == 1 {
+				t.Level = 0
+			}
+		}
+	}
 	c.cur = cs
 	candidates = c.applyChain(candidates, from, c, vm, now)
 	c.cur = nil
+	if t := c.Chain.tr; t != nil && !t.scored {
+		// Single feasible host under a dynamic level 0: record it unscored,
+		// as the exhaustive path does (see capState.captureSingle).
+		t.captureSingle(&c.Chain, candidates[0], vm, now)
+	}
 	return candidates[0], nil
 }
 

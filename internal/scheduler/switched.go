@@ -14,6 +14,8 @@ import (
 type Switched struct {
 	Pre, Post Policy
 	At        time.Duration
+
+	last Policy // arm that made the most recent Schedule decision
 }
 
 // NewSwitched builds a rollout policy that activates post at the switch
@@ -45,7 +47,33 @@ func (s *Switched) Name() string { return s.Pre.Name() + "->" + s.Post.Name() }
 
 // Schedule implements Policy.
 func (s *Switched) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
-	return s.active(now).Schedule(pool, vm, now)
+	p := s.active(now)
+	s.last = p
+	return p.Schedule(pool, vm, now)
+}
+
+// EnableTrace implements Traceable: arm both arms so captures stay
+// available across the switch.
+func (s *Switched) EnableTrace(k int) {
+	EnableTrace(s.Pre, k)
+	EnableTrace(s.Post, k)
+}
+
+// LastCapture implements Traceable: the capture of whichever arm made the
+// most recent Schedule decision.
+func (s *Switched) LastCapture() *Capture {
+	if s.last == nil {
+		return nil
+	}
+	return CaptureOf(s.last)
+}
+
+// AppendLevelScores implements the counterfactual pricing hook through the
+// currently active arm; arms that cannot price arbitrary pairs leave dst
+// unchanged.
+func (s *Switched) AppendLevelScores(dst []float64, h *cluster.Host, vm *cluster.VM, now time.Duration) []float64 {
+	dst, _ = LevelScores(s.active(now), dst, h, vm, now)
+	return dst
 }
 
 // OnPlaced implements Policy.

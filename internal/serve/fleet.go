@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"lava/internal/cell"
 	"lava/internal/cluster"
 	"lava/internal/metrics"
+	"lava/internal/ptrace"
 	"lava/internal/resources"
 	"lava/internal/runner"
 	"lava/internal/scheduler"
@@ -62,6 +64,13 @@ type FleetConfig struct {
 	// caller memoized the predictor. One table serves the whole fleet: the
 	// key space is (features, uptime), which no cell split changes.
 	Memo *MemoPredictor
+
+	// TraceK and TraceCap are the per-cell serve.Config tracing settings:
+	// each cell records its own decision stream (there is no useful global
+	// interleaving — cells are independent event loops), queryable via
+	// /trace?cell=N or rolled up by /trace.
+	TraceK   int
+	TraceCap int
 }
 
 // FleetFromTrace derives the federation geometry from a trace header, with
@@ -181,6 +190,8 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			SampleEvery: cfg.SampleEvery,
 			QueueDepth:  cfg.QueueDepth,
 			Memo:        cfg.Memo,
+			TraceK:      cfg.TraceK,
+			TraceCap:    cfg.TraceCap,
 		})
 		if err != nil {
 			for _, s := range f.cells[:i] {
@@ -675,7 +686,11 @@ func (f *Fleet) drainResponse(roll *cell.Rollup) FleetDrainResponse {
 //	POST /tick     TickRequest   -> TickResponse  (fan-out)
 //	GET  /stats                  -> FleetStats
 //	GET  /snapshot               -> FleetSnapshot
+//	GET  /trace                  -> FleetTraceResponse
 //	POST /drain                  -> FleetDrainResponse
+//
+// /trace takes the single-server filter parameters plus cell=N to restrict
+// the query to one cell; without it every cell answers, in cell order.
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/place", f.handlePlace)
@@ -683,8 +698,64 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/tick", f.handleTick)
 	mux.HandleFunc("/stats", f.handleStats)
 	mux.HandleFunc("/snapshot", f.handleSnapshot)
+	mux.HandleFunc("/trace", f.handleTrace)
 	mux.HandleFunc("/drain", f.handleDrain)
 	return mux
+}
+
+// CellTracer returns cell c's decision recorder, nil when tracing is
+// disabled or c is out of range.
+func (f *Fleet) CellTracer(c int) *ptrace.Recorder {
+	if c < 0 || c >= len(f.cells) {
+		return nil
+	}
+	return f.cells[c].Tracer()
+}
+
+// CellTrace is one cell's page of a fleet trace query.
+type CellTrace struct {
+	Cell int `json:"cell"`
+	ptrace.QueryResult
+}
+
+// FleetTraceResponse is the /trace payload of a fleet: one filtered page
+// per queried cell.
+type FleetTraceResponse struct {
+	Cells []CellTrace `json:"cells"`
+}
+
+func (f *Fleet) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodErr(w)
+		return
+	}
+	if f.cfg.TraceK <= 0 {
+		writeStatus(w, http.StatusNotFound, errors.New("serve: tracing disabled (set TraceK)"))
+		return
+	}
+	flt, err := traceFilter(r)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	cells := make([]int, 0, len(f.cells))
+	if v := r.URL.Query().Get("cell"); v != "" {
+		c, err := strconv.Atoi(v)
+		if err != nil || c < 0 || c >= len(f.cells) {
+			writeStatus(w, http.StatusBadRequest, fmt.Errorf("serve: bad cell %q (fleet has %d)", v, len(f.cells)))
+			return
+		}
+		cells = append(cells, c)
+	} else {
+		for c := range f.cells {
+			cells = append(cells, c)
+		}
+	}
+	out := FleetTraceResponse{Cells: make([]CellTrace, 0, len(cells))}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, CellTrace{Cell: c, QueryResult: f.cells[c].Tracer().Query(flt)})
+	}
+	writeJSON(w, out)
 }
 
 func (f *Fleet) handlePlace(w http.ResponseWriter, r *http.Request) {

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"lava/internal/cluster"
+	"lava/internal/ptrace"
 	"lava/internal/runner"
 	"lava/internal/trace"
 )
@@ -77,7 +79,14 @@ type errorBody struct {
 //	POST /tick     TickRequest   -> TickResponse
 //	GET  /stats                  -> Stats
 //	GET  /snapshot               -> metrics.Sample
+//	GET  /trace                  -> ptrace.QueryResult
 //	POST /drain                  -> DrainResponse
+//
+// /trace filters with query parameters: vm and host select decisions
+// touching one VM/host ID, from_ns/to_ns bound the virtual-time window
+// (inclusive), and after/limit paginate (pass the response's next_after
+// back as after while more holds). It answers 404 when tracing is disabled
+// (Config.TraceK == 0).
 //
 // Errors come back as {"error": "..."} with 400 for malformed payloads,
 // 405 for wrong methods, 409 for sequencing conflicts, and 503 once the
@@ -89,8 +98,63 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/tick", s.handleTick)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/drain", s.handleDrain)
 	return mux
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodErr(w)
+		return
+	}
+	if s.tracer == nil {
+		writeStatus(w, http.StatusNotFound, errors.New("serve: tracing disabled (set TraceK)"))
+		return
+	}
+	f, err := traceFilter(r)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, s.tracer.Query(f))
+}
+
+// traceFilter parses /trace query parameters into a ptrace.Filter.
+func traceFilter(r *http.Request) (ptrace.Filter, error) {
+	f := ptrace.MatchAll()
+	q := r.URL.Query()
+	parse := func(name string, into *int64) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("serve: bad %s %q: %w", name, v, err)
+		}
+		*into = n
+		return nil
+	}
+	var from, to, after, limit int64
+	for _, p := range []struct {
+		name string
+		into *int64
+	}{
+		{"vm", &f.VM}, {"host", &f.Host},
+		{"from_ns", &from}, {"to_ns", &to},
+		{"after", &after}, {"limit", &limit},
+	} {
+		if err := parse(p.name, p.into); err != nil {
+			return f, err
+		}
+	}
+	if after < 0 || limit < 0 || from < 0 || to < 0 {
+		return f, errors.New("serve: trace filter values must be non-negative")
+	}
+	f.From, f.To = time.Duration(from), time.Duration(to)
+	f.After, f.Limit = uint64(after), int(limit)
+	return f, nil
 }
 
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {

@@ -3,12 +3,14 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"lava/internal/cluster"
 	"lava/internal/metrics"
+	"lava/internal/ptrace"
 	"lava/internal/resources"
 	"lava/internal/runner"
 	"lava/internal/scheduler"
@@ -61,7 +63,25 @@ type Config struct {
 	// Memo, if the caller wrapped the policy's predictor with Memoize,
 	// lets /stats report cache hit rates. Optional.
 	Memo *MemoPredictor
+
+	// TraceK > 0 enables decision tracing: every placement decision is
+	// recorded with its top-K scored alternatives and served by the /trace
+	// endpoint. Zero disables tracing (no recorder, no hot-path cost).
+	TraceK int
+
+	// TraceCap bounds the in-memory decision ring (a serving daemon runs
+	// indefinitely). Default 8192 when tracing is on; negative means
+	// unbounded, for replay-grade traces.
+	TraceCap int
+
+	// TraceOut, when set, additionally persists every decision as one JSON
+	// line, surviving ring eviction.
+	TraceOut io.Writer
 }
+
+// DefaultTraceCap is the decision-ring capacity a traced server uses when
+// the config does not choose one.
+const DefaultTraceCap = 8192
 
 // FromTrace derives the serving geometry from a trace header: pool name,
 // hosts, host shape, warm-up, and the trace's measurement end as the
@@ -135,8 +155,9 @@ type Stats struct {
 // policy. Create with New; drive over HTTP via Handler or in-process via
 // the typed methods the handlers use.
 type Server struct {
-	cfg Config
-	m   *sim.Machine
+	cfg    Config
+	m      *sim.Machine
+	tracer *ptrace.Recorder // nil: tracing disabled
 
 	reqs     chan *request
 	stop     chan struct{} // closed by Close
@@ -178,6 +199,22 @@ func New(cfg Config) (*Server, error) {
 		WarmUp:   cfg.WarmUp,
 		Horizon:  cfg.Horizon,
 	}
+	var tracer *ptrace.Recorder
+	if cfg.TraceK > 0 {
+		capacity := cfg.TraceCap
+		switch {
+		case capacity == 0:
+			capacity = DefaultTraceCap
+		case capacity < 0:
+			capacity = 0 // unbounded
+		}
+		tracer = ptrace.New(ptrace.Options{
+			K:        cfg.TraceK,
+			Capacity: capacity,
+			Out:      cfg.TraceOut,
+			Policy:   cfg.Policy.Name(),
+		})
+	}
 	m, err := sim.NewMachine(sim.Config{
 		Trace:       ht,
 		Policy:      cfg.Policy,
@@ -185,6 +222,7 @@ func New(cfg Config) (*Server, error) {
 		SampleEvery: cfg.SampleEvery,
 		TickEvery:   cfg.TickEvery,
 		Injectors:   cfg.Injectors,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -192,6 +230,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		m:        m,
+		tracer:   tracer,
 		reqs:     make(chan *request, cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -276,6 +315,11 @@ func (s *Server) Stats() (Stats, error) {
 	resp := s.submit(newRequest(reqStats))
 	return resp.stats, resp.err
 }
+
+// Tracer returns the server's decision recorder, nil when tracing is
+// disabled (Config.TraceK == 0). The recorder is internally synchronized:
+// queries are safe while the event loop records.
+func (s *Server) Tracer() *ptrace.Recorder { return s.tracer }
 
 // Drain gracefully finishes the run: rejects new mutating work, processes
 // everything already admitted, advances to the horizon, and returns the

@@ -7,6 +7,7 @@ import (
 
 	"lava/internal/cluster"
 	"lava/internal/metrics"
+	"lava/internal/ptrace"
 	"lava/internal/scheduler"
 	"lava/internal/trace"
 )
@@ -42,6 +43,9 @@ type Control struct {
 
 	claims map[cluster.HostID]int  // withdrawal claims held by injectors
 	owned  map[cluster.HostID]bool // Unavailable flags this Control flipped
+
+	tracer *ptrace.Recorder // decision recorder (nil: tracing off)
+	now    time.Duration    // current tick time, for injector event stamps
 }
 
 // NewControl builds a Control over a pool/policy pair. The simulator calls
@@ -77,6 +81,9 @@ func (c *Control) Withdraw(id cluster.HostID) {
 			// Availability changed outside the pool's own mutators; tell
 			// score caches (see cluster.HostInvalidated).
 			c.pool.InvalidateHost(id)
+			if c.tracer != nil {
+				c.tracer.Record(ptrace.Decision{Kind: ptrace.KindWithdraw, T: c.now, Host: id, Level: -1})
+			}
 		}
 	}
 }
@@ -93,6 +100,9 @@ func (c *Control) Restore(id cluster.HostID) {
 		c.pool.Host(id).Unavailable = false
 		delete(c.owned, id)
 		c.pool.InvalidateHost(id)
+		if c.tracer != nil {
+			c.tracer.Record(ptrace.Decision{Kind: ptrace.KindRestore, T: c.now, Host: id, Level: -1})
+		}
 	}
 }
 
@@ -111,6 +121,9 @@ func (c *Control) Kill(id cluster.VMID, now time.Duration) error {
 		c.policy.OnExited(c.pool, h, vm, now)
 	}
 	c.res.Killed++
+	if c.tracer != nil {
+		c.tracer.Record(ptrace.Decision{Kind: ptrace.KindKill, T: now, VM: id, Host: h.ID, Level: -1})
+	}
 	return nil
 }
 
@@ -145,6 +158,13 @@ type Config struct {
 	// CheckInvariants validates pool consistency at every sample (slow;
 	// for tests).
 	CheckInvariants bool
+
+	// Tracer, when set, records every placement decision (with the
+	// policy's top-K scored alternatives) and lifecycle event — the input
+	// to the /trace endpoint and to counterfactual replay (ptrace.Replay).
+	// Tracing is observe-only: it cannot change results. nil disables it
+	// with zero hot-path cost.
+	Tracer *ptrace.Recorder
 }
 
 // Result summarizes a run.
@@ -237,11 +257,19 @@ func NewMachine(cfg Config) (*Machine, error) {
 		Series:   &metrics.Series{},
 		WarmUp:   cfg.WarmUp,
 	}
+	ctl := NewControl(pool, cfg.Policy, res)
+	if cfg.Tracer != nil {
+		// Arm decision capture on the policy; policies without capture
+		// support still yield the lifecycle stream, just without scored
+		// alternatives.
+		scheduler.EnableTrace(cfg.Policy, cfg.Tracer.K())
+		ctl.tracer = cfg.Tracer
+	}
 	return &Machine{
 		cfg:  cfg,
 		pool: pool,
 		res:  res,
-		ctl:  NewControl(pool, cfg.Policy, res),
+		ctl:  ctl,
 		// Measure until the arrival horizon: past it the pool only drains,
 		// which says nothing about steady-state packing quality.
 		end:      cfg.Trace.End(),
@@ -288,6 +316,7 @@ func (m *Machine) Advance(t time.Duration) error {
 			}
 			m.nextSample += m.cfg.SampleEvery
 		} else {
+			m.ctl.now = m.nextTick // stamp injector-driven trace events
 			for _, in := range m.cfg.Injectors {
 				in.Inject(m.ctl, m.nextTick)
 			}
@@ -327,6 +356,9 @@ func (m *Machine) Create(rec trace.Record, at time.Duration) (*cluster.Host, err
 	if err != nil {
 		if errors.Is(err, scheduler.ErrNoCapacity) {
 			m.res.Failed++
+			if m.cfg.Tracer != nil {
+				m.recordDecision(ptrace.KindFail, rec, at, -1)
+			}
 			return nil, nil
 		}
 		return nil, err
@@ -336,7 +368,25 @@ func (m *Machine) Create(rec trace.Record, at time.Duration) (*cluster.Host, err
 	}
 	m.cfg.Policy.OnPlaced(m.pool, h, vm, at)
 	m.res.Placements++
+	if m.cfg.Tracer != nil {
+		m.recordDecision(ptrace.KindPlace, rec, at, h.ID)
+	}
 	return h, nil
+}
+
+// recordDecision emits a Place/Fail decision: the creation record (replay
+// input) plus a copy of the policy's capture — the scheduler reuses its
+// capture buffers across calls, so the alternatives are copied out here.
+func (m *Machine) recordDecision(kind ptrace.Kind, rec trace.Record, at time.Duration, host cluster.HostID) {
+	d := ptrace.Decision{Kind: kind, T: at, VM: rec.ID, Host: host, Level: -1, Rec: &rec}
+	if cp := scheduler.CaptureOf(m.cfg.Policy); cp != nil {
+		d.Feasible = cp.Feasible
+		d.Level = cp.Level
+		if len(cp.Alts) > 0 {
+			d.Alts = append(make([]ptrace.Alt, 0, len(cp.Alts)), cp.Alts...)
+		}
+	}
+	m.cfg.Tracer.Record(d)
 }
 
 // Exit advances to at and removes the VM, notifying the policy. It returns
@@ -362,6 +412,9 @@ func (m *Machine) Exit(id cluster.VMID, at time.Duration) (bool, error) {
 	}
 	m.cfg.Policy.OnExited(m.pool, h, vm, at)
 	m.res.Exits++
+	if m.cfg.Tracer != nil {
+		m.cfg.Tracer.Record(ptrace.Decision{Kind: ptrace.KindExit, T: at, VM: id, Host: h.ID, Level: -1})
+	}
 	return true, nil
 }
 

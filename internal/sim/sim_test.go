@@ -7,6 +7,7 @@ import (
 	"lava/internal/cluster"
 	"lava/internal/metrics"
 	"lava/internal/model"
+	"lava/internal/ptrace"
 	"lava/internal/scheduler"
 	"lava/internal/simtime"
 	"lava/internal/trace"
@@ -249,5 +250,98 @@ func TestNewMachineRejectsNegativePeriods(t *testing.T) {
 		if _, err := NewMachine(cfg); err == nil {
 			t.Fatalf("negative period accepted: %+v", cfg)
 		}
+	}
+}
+
+// TestTracingObserveOnly is the observe-only half of the tracing contract:
+// attaching a recorder must not change a single simulation outcome, and the
+// recorded stream must be a faithful event log — sequential, complete
+// (every arrival decided, every departure logged) and time-ordered.
+func TestTracingObserveOnly(t *testing.T) {
+	tr := smallTrace(t, 3, 0.6, 8)
+	base, err := Run(Config{Trace: tr, Policy: scheduler.NewLAVA(model.Oracle{}, time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ptrace.New(ptrace.Options{K: 3, Policy: "lava"})
+	traced, err := Run(Config{
+		Trace:  tr,
+		Policy: scheduler.NewLAVA(model.Oracle{}, time.Minute),
+		Tracer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Placements != traced.Placements || base.Failed != traced.Failed ||
+		base.Exits != traced.Exits || base.ModelCalls != traced.ModelCalls ||
+		base.AvgEmptyHostFrac != traced.AvgEmptyHostFrac {
+		t.Fatalf("tracing changed results:\n untraced: %+v\n traced:   %+v", base, traced)
+	}
+
+	ds := rec.Decisions()
+	var places, fails, exits int
+	lastT := time.Duration(-1)
+	for i, d := range ds {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("decision %d has seq %d", i, d.Seq)
+		}
+		if d.T < lastT {
+			t.Fatalf("decision seq %d goes back in time: %v after %v", d.Seq, d.T, lastT)
+		}
+		lastT = d.T
+		switch d.Kind {
+		case ptrace.KindPlace:
+			places++
+			if d.Rec == nil || d.Host < 0 || len(d.Alts) == 0 {
+				t.Fatalf("malformed place decision: %+v", d)
+			}
+		case ptrace.KindFail:
+			fails++
+			if d.Host != -1 {
+				t.Fatalf("fail decision with host: %+v", d)
+			}
+		case ptrace.KindExit:
+			exits++
+		default:
+			t.Fatalf("unexpected kind %v in an injector-free run", d.Kind)
+		}
+	}
+	if places != base.Placements || fails != base.Failed || exits != base.Exits {
+		t.Fatalf("stream counts place/fail/exit = %d/%d/%d, result says %d/%d/%d",
+			places, fails, exits, base.Placements, base.Failed, base.Exits)
+	}
+}
+
+// TestTracingRecordsInjections: control-plane events (injected kills) land
+// in the decision stream with their tick timestamps.
+func TestTracingRecordsInjections(t *testing.T) {
+	tr := smallTrace(t, 2, 0.6, 7)
+	inj := &killFirst{At: tr.WarmUp / 2}
+	rec := ptrace.New(ptrace.Options{K: 2, Policy: "wastemin"})
+	res, err := Run(Config{
+		Trace: tr, Policy: scheduler.NewWasteMin(),
+		Injectors: []Injector{inj},
+		Tracer:    rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Killed != 1 {
+		t.Fatalf("Killed = %d, want 1", res.Killed)
+	}
+	var kills int
+	for _, d := range rec.Decisions() {
+		if d.Kind == ptrace.KindKill {
+			kills++
+			if d.T != inj.KillT {
+				t.Fatalf("kill recorded at %v, injector fired at %v", d.T, inj.KillT)
+			}
+			if d.Host < 0 || d.VM < 0 {
+				t.Fatalf("kill decision missing host/vm: %+v", d)
+			}
+		}
+	}
+	if kills != 1 {
+		t.Fatalf("recorded %d kills, want 1", kills)
 	}
 }

@@ -21,12 +21,14 @@ package lava
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	"lava/internal/cell"
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
+	"lava/internal/ptrace"
 	"lava/internal/runner"
 	"lava/internal/scenario"
 	"lava/internal/scheduler"
@@ -347,6 +349,23 @@ type ServeConfig struct {
 
 	// QueueDepth bounds the admission queue (default 256).
 	QueueDepth int
+
+	// TraceK > 0 enables decision tracing: every placement decision is
+	// recorded with the chosen host and its top-TraceK scored alternatives,
+	// queryable over GET /trace. Tracing is observe-only — decisions are
+	// identical with it on or off.
+	TraceK int
+
+	// TraceCap bounds the in-memory trace ring in decisions (0 = the
+	// serving default of 8192, negative = unbounded). Older decisions are
+	// overwritten once the ring is full.
+	TraceCap int
+
+	// TraceOut, if non-nil, additionally streams every recorded decision
+	// as a JSON line the moment it is made (ignored in fleet mode, where
+	// per-cell streams would interleave nondeterministically — query each
+	// cell's ring instead).
+	TraceOut io.Writer
 }
 
 // NewServer builds an online placement server (internal/serve) over the
@@ -382,6 +401,9 @@ func NewServer(tr *Trace, cfg ServeConfig) (*serve.Server, error) {
 	sc.SampleEvery = cfg.SampleEvery
 	sc.QueueDepth = cfg.QueueDepth
 	sc.Memo = memo
+	sc.TraceK = cfg.TraceK
+	sc.TraceCap = cfg.TraceCap
+	sc.TraceOut = cfg.TraceOut
 	return serve.New(sc)
 }
 
@@ -454,6 +476,8 @@ func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
 	fc.SampleEvery = cfg.SampleEvery
 	fc.QueueDepth = cfg.QueueDepth
 	fc.Memo = memo
+	fc.TraceK = cfg.TraceK
+	fc.TraceCap = cfg.TraceCap
 	fc.NewPolicy = func(int) (scheduler.Policy, error) {
 		return newPolicy(kind, pred, refresh)
 	}
@@ -511,6 +535,61 @@ type ReplayReport = serve.ReplayReport
 // concurrency.
 func ReplayTrace(ctx context.Context, baseURL string, tr *Trace, opt ReplayOptions) (*ReplayReport, error) {
 	return (&serve.Client{Base: baseURL}).Replay(ctx, tr, opt)
+}
+
+// --- decision tracing & counterfactual replay ---------------------------
+
+// TraceOptions configures a decision recorder (see internal/ptrace): K is
+// the number of scored alternatives kept per decision, Capacity bounds the
+// ring (0 = unbounded), Out optionally streams decisions as JSON lines.
+type TraceOptions = ptrace.Options
+
+// TraceRecorder is a ring-buffered recorder of placement decisions.
+type TraceRecorder = ptrace.Recorder
+
+// TraceDecision is one recorded decision: the event kind, virtual time,
+// VM, chosen host, deciding chain level and the top-K scored alternatives.
+type TraceDecision = ptrace.Decision
+
+// TraceFilter selects decisions from a recorder; see TraceRecorder.Query.
+type TraceFilter = ptrace.Filter
+
+// TraceQueryResult is a filtered, paginated page of recorded decisions.
+type TraceQueryResult = ptrace.QueryResult
+
+// TraceReplayConfig shapes ReplayDecisions: the recorded pool geometry
+// plus the candidate policy to re-price the stream under.
+type TraceReplayConfig = ptrace.ReplayConfig
+
+// TraceReplayReport is a counterfactual replay outcome: per-decision
+// matches, divergences and regret.
+type TraceReplayReport = ptrace.Report
+
+// NewTraceRecorder builds a decision recorder to pass to SimulateTraced
+// (or internal/sim's Config.Tracer directly).
+func NewTraceRecorder(opt TraceOptions) *TraceRecorder { return ptrace.New(opt) }
+
+// SimulateTraced is Simulate with a decision recorder attached: every
+// placement decision lands in rec alongside the simulation's normal
+// metrics. Tracing is observe-only — the Result is identical to an
+// untraced Simulate.
+func SimulateTraced(tr *Trace, kind PolicyKind, pred Predictor, rec *TraceRecorder) (*Result, error) {
+	pol, err := NewPolicy(kind, pred)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{Trace: tr, Policy: pol, Tracer: rec})
+}
+
+// ReplayDecisions feeds a recorded decision stream through a different
+// policy without re-simulating (counterfactual replay): the pool follows
+// the recorded trajectory while the candidate policy is asked what it
+// would have chosen at every decision. See internal/ptrace for the parity
+// contract (self-replay is exact; re-simulation agrees at the first
+// divergence). The stream must include creation records, i.e. come from
+// an unbounded recorder.
+func ReplayDecisions(cfg TraceReplayConfig, decisions []TraceDecision) (*TraceReplayReport, error) {
+	return ptrace.Replay(cfg, decisions)
 }
 
 // Compare runs several policies on the same trace and returns results keyed
