@@ -67,6 +67,8 @@ func main() {
 		traceK    = flag.Int("trace-k", 0, "record decision traces with this many scored alternatives (0 disables; served at /trace)")
 		traceBuf  = flag.Int("trace-buf", 0, "decision trace ring capacity (0 = default 8192, -1 = unbounded)")
 		traceOut  = flag.String("trace-out", "", "stream recorded decisions to this JSONL file (single-cell only; requires -trace-k)")
+		scenName  = flag.String("scenario", "", "serve under a named operational scenario (see lavasim -list-scenarios); forces fleet mode")
+		scenSeed  = flag.Int64("seed", 0, "scenario randomness seed (must match the offline arm for parity)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -129,14 +131,22 @@ func main() {
 		defer tf.Close()
 		sc.TraceOut = tf
 	}
-	if *cells > 1 {
-		fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts, %d cells via %s), policy %s, model %s (memo %v), horizon %v\n",
-			tr.PoolName, tr.Hosts, *cells, *router, *policy, pred.Name(), useMemo, tr.End())
+	if *cells > 1 || *scenName != "" {
+		// A scenario needs the fleet stack even single-cell: its tick
+		// injectors fire inside the fleet's per-cell event loops.
+		what := *scenName
+		if what == "" {
+			what = "steady"
+		}
+		fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts, %d cells via %s), policy %s, model %s (memo %v), scenario %s, horizon %v\n",
+			tr.PoolName, tr.Hosts, *cells, *router, *policy, pred.Name(), useMemo, what, tr.End())
 		fmt.Fprintf(os.Stderr, "lavad: listening on http://%s\n", *addr)
 		err = lava.ServeFleet(ctx, *addr, tr, lava.FleetConfig{
-			ServeConfig: sc,
-			Cells:       *cells,
-			Router:      lava.RouterKind(*router),
+			ServeConfig:  sc,
+			Cells:        *cells,
+			Router:       lava.RouterKind(*router),
+			Scenario:     *scenName,
+			ScenarioSeed: *scenSeed,
 		})
 	} else {
 		fmt.Fprintf(os.Stderr, "lavad: pool %s (%d hosts), policy %s, model %s (memo %v), horizon %v\n",

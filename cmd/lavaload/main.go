@@ -23,10 +23,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"lava"
 	"lava/internal/runner"
 	"lava/internal/serve"
 	"lava/internal/trace"
@@ -41,6 +43,9 @@ func main() {
 		noDrain   = flag.Bool("no-drain", false, "skip the final /drain so the daemon keeps serving")
 		jsonOut   = flag.String("json", "", "write a BENCH JSON document to this file ('-' for stdout)")
 		timeout   = flag.Duration("timeout", 0, "overall replay deadline (0 = none)")
+		scenName  = flag.String("scenario", "", "compose this scenario's arrival stream before replaying (must match the daemon's -scenario)")
+		scenSeed  = flag.Int64("seed", 0, "scenario randomness seed (must match the daemon's -seed)")
+		finalOut  = flag.String("final-out", "", "write the fleet drain report as canonical JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -55,6 +60,14 @@ func main() {
 	f.Close()
 	if err != nil {
 		fatal(err)
+	}
+	if *scenName != "" {
+		// The daemon's scenario injectors fire server-side; the client's
+		// half of the same scenario is the composed arrival stream.
+		tr, err = lava.ComposeScenario(tr, *scenName, *scenSeed)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	ctx := context.Background()
@@ -101,6 +114,30 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *finalOut != "" {
+		if rep.FleetFinal == nil {
+			fatal(fmt.Errorf("-final-out needs a fleet drain report: run against a federated daemon without -no-drain"))
+		}
+		if err := writeFinal(*finalOut, rep.FleetFinal); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFinal emits the fleet drain report as canonical JSON — the exact
+// bytes an offline `lavasim -final-out` run of the same scenario produces,
+// so CI can diff the two files directly.
+func writeFinal(path string, ff *serve.FleetDrainResponse) error {
+	data, err := json.Marshal(ff)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // writeBench emits the replay as a one-batch BENCH document: the runner's

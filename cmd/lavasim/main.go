@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"lava/internal/model"
 	"lava/internal/model/gbdt"
 	"lava/internal/scheduler"
+	"lava/internal/serve"
 	"lava/internal/sim"
 	"lava/internal/stranding"
 	"lava/internal/trace"
@@ -48,6 +50,7 @@ func main() {
 		router    = flag.String("router", "feature-hash", "cell router: round-robin | least-utilized | feature-hash")
 		seed      = flag.Int64("seed", 42, "scenario randomness seed")
 		parallel  = flag.Int("parallel", 0, "cell simulation workers: 1 = sequential, 0 = GOMAXPROCS")
+		finalOut  = flag.String("final-out", "", "federated runs: write the fleet report as canonical JSON to this file ('-' for stdout) for diffing against lavaload -final-out")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -76,8 +79,11 @@ func main() {
 		if *doDefrag || *doStrand {
 			fatal(fmt.Errorf("-defrag/-stranding are single-cell options; drop them for federated runs"))
 		}
-		runFederated(tr, *policy, pred, *scen, *router, *cells, *seed, *parallel, *refresh)
+		runFederated(tr, *policy, pred, *scen, *router, *cells, *seed, *parallel, *refresh, *finalOut)
 		return
+	}
+	if *finalOut != "" {
+		fatal(fmt.Errorf("-final-out is a federated option; add -cells or -scenario"))
 	}
 
 	pol, err := buildPolicy(*policy, pred, *refresh)
@@ -120,7 +126,7 @@ func main() {
 
 // runFederated drives the trace through the multi-cell scenario engine and
 // prints per-cell rows plus the fleet rollup.
-func runFederated(tr *trace.Trace, policy string, pred model.Predictor, scen, router string, cells int, seed int64, parallel int, refresh time.Duration) {
+func runFederated(tr *trace.Trace, policy string, pred model.Predictor, scen, router string, cells int, seed int64, parallel int, refresh time.Duration, finalOut string) {
 	// The -cache flag uses 0 for "disabled"; the facade's zero value means
 	// "default", so map explicitly.
 	cacheRefresh := refresh
@@ -152,6 +158,21 @@ func runFederated(tr *trace.Trace, policy string, pred model.Predictor, scen, ro
 	fmt.Printf("rollup: empty hosts %.2f%%  cpu util %.2f%%  util spread %.2f pp  placed %d  failed %d  killed %d\n",
 		100*roll.AvgEmptyHostFrac, 100*roll.AvgCPUUtil, 100*roll.UtilSpread,
 		roll.Placements, roll.Failed, roll.Killed)
+	if finalOut != "" {
+		// FleetReportOf is the same projection a live fleet's /drain
+		// handler applies, so the emitted bytes diff cleanly against a
+		// lavaload -final-out capture of the online run.
+		data, err := json.Marshal(serve.FleetReportOf(tr.PoolName, roll.Cells[0].Policy, roll))
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if finalOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(finalOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func buildModel(tr *trace.Trace, kind, path string, trees int) (model.Predictor, error) {

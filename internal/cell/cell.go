@@ -71,9 +71,19 @@ type featureHash struct{ n int }
 func (f *featureHash) Name() string { return "feature-hash" }
 func (f *featureHash) Cells() int   { return f.n }
 func (f *featureHash) Route(rec *trace.Record) int {
+	return FeatureHash(rec, f.n)
+}
+
+// FeatureHash is the feature-hash router's assignment function: the FNV-1a
+// hash of the record's feature tuple modulo n. Exported so elastic fleets
+// (internal/serve) and their offline script runners share the exact hash —
+// the feature-hash contract is that an assignment depends only on (Feat, n),
+// never on routing history, so it survives drain/rehydrate cycles untouched
+// and shifts only when n itself changes (split/merge).
+func FeatureHash(rec *trace.Record, n int) int {
 	h := fnv.New64a()
 	h.Write([]byte(rec.Feat.String()))
-	return int(h.Sum64() % uint64(f.n))
+	return int(h.Sum64() % uint64(n))
 }
 
 // --- least-utilized --------------------------------------------------------

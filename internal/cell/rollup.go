@@ -21,11 +21,13 @@ type Rollup struct {
 	AvgCPUUtil        float64
 
 	// Summed counters.
-	Placements int
-	Exits      int
-	Failed     int
-	Killed     int
-	ModelCalls int64
+	Placements  int
+	Exits       int
+	Failed      int
+	Killed      int
+	MigratedOut int
+	MigratedIn  int
+	ModelCalls  int64
 
 	// UtilSpread is max-min of per-cell average CPU utilization: the
 	// router's load-balance quality (0 = perfectly even).
@@ -55,6 +57,8 @@ func RollUp(router string, hosts []int, results []*sim.Result) (*Rollup, error) 
 		r.Exits += res.Exits
 		r.Failed += res.Failed
 		r.Killed += res.Killed
+		r.MigratedOut += res.MigratedOut
+		r.MigratedIn += res.MigratedIn
 		r.ModelCalls += res.ModelCalls
 		if i == 0 || res.AvgCPUUtil < minU {
 			minU = res.AvgCPUUtil

@@ -8,10 +8,12 @@ package cluster
 type HostEvent uint8
 
 // Host events. Place/Exit/Migrate are published by the corresponding Pool
-// mutators; HostInvalidated is the explicit escape hatch for state changes
-// the pool cannot see itself — LAVA class promotions on reprediction
-// deadlines, recycling-state transitions, and Unavailable flips by the
-// defragmentation/maintenance engines and scenario injectors.
+// mutators; HostAdded/HostRemoved by the membership mutators (AddHosts,
+// RemoveHost — fleet elasticity); HostInvalidated is the explicit escape
+// hatch for state changes the pool cannot see itself — LAVA class
+// promotions on reprediction deadlines, recycling-state transitions, and
+// Unavailable flips by the defragmentation/maintenance engines and
+// scenario injectors.
 const (
 	// HostPlaced: a VM was added to the host (Pool.Place).
 	HostPlaced HostEvent = iota
@@ -24,6 +26,12 @@ const (
 	// HostInvalidated: out-of-band state relevant to scoring changed
 	// (Pool.InvalidateHost).
 	HostInvalidated
+	// HostAdded: the host joined the pool (Pool.AddHosts). A membership
+	// event: ID-indexed caches must rebind, not just dirty one host.
+	HostAdded
+	// HostRemoved: the host left the pool (Pool.RemoveHost). The *Host
+	// passed to listeners is no longer a pool member.
+	HostRemoved
 )
 
 // String renders the event name.
@@ -39,6 +47,10 @@ func (e HostEvent) String() string {
 		return "migrated-in"
 	case HostInvalidated:
 		return "invalidated"
+	case HostAdded:
+		return "added"
+	case HostRemoved:
+		return "removed"
 	default:
 		return "event(?)"
 	}

@@ -16,7 +16,7 @@ import (
 // the single-writer contract and who upholds it.
 type Pool struct {
 	Name  string
-	hosts []*Host // sorted by ID, immutable membership after construction
+	hosts []*Host // sorted by ID; membership changes only via AddHosts/RemoveHost
 	byID  map[HostID]*Host
 	vms   map[VMID]*Host // VM -> current host
 	idx   *capIndex      // free-capacity index over hosts
@@ -44,8 +44,64 @@ func NewPool(name string, n int, capacity resources.Vector) *Pool {
 	return p
 }
 
-// Hosts returns the hosts in ID order. Callers must not mutate the slice.
+// Hosts returns the hosts in ID order. Callers must not mutate the slice,
+// and must re-read it after AddHosts/RemoveHost (membership changes may
+// reallocate it).
 func (p *Pool) Hosts() []*Host { return p.hosts }
+
+// AddHosts grows the pool by n identical hosts with the given capacity and
+// returns them. New hosts take IDs past the current maximum, so a pool that
+// has only ever grown (or shrunk from the top via its highest IDs) keeps
+// the dense 0..n-1 numbering the incremental score caches rely on. Each
+// addition publishes a HostAdded event.
+func (p *Pool) AddHosts(n int, capacity resources.Vector) []*Host {
+	if n <= 0 {
+		return nil
+	}
+	next := HostID(0)
+	for _, h := range p.hosts {
+		if h.ID >= next {
+			next = h.ID + 1
+		}
+	}
+	added := make([]*Host, 0, n)
+	for i := 0; i < n; i++ {
+		h := NewHost(next+HostID(i), capacity)
+		p.hosts = append(p.hosts, h)
+		p.byID[h.ID] = h
+		added = append(added, h)
+	}
+	p.idx = newCapIndex(p.hosts)
+	for _, h := range added {
+		p.notify(h, HostAdded)
+	}
+	return added
+}
+
+// RemoveHost retires an empty host from the pool. Hosts still running VMs
+// cannot be removed — migrate or exit them first. Removing any host other
+// than the highest-ID one leaves the pool's IDs non-dense, which demotes
+// incremental score caches to their exhaustive fallback (correct, slower).
+// The removal publishes a HostRemoved event.
+func (p *Pool) RemoveHost(id HostID) error {
+	h := p.byID[id]
+	if h == nil {
+		return fmt.Errorf("pool %s: host %d not in pool", p.Name, id)
+	}
+	if !h.Empty() {
+		return fmt.Errorf("pool %s: host %d still runs %d VMs", p.Name, id, len(h.VMs()))
+	}
+	for i, cur := range p.hosts {
+		if cur.ID == id {
+			p.hosts = append(p.hosts[:i], p.hosts[i+1:]...)
+			break
+		}
+	}
+	delete(p.byID, id)
+	p.idx = newCapIndex(p.hosts)
+	p.notify(h, HostRemoved)
+	return nil
+}
 
 // Host returns the host with the given ID, or nil.
 func (p *Pool) Host(id HostID) *Host { return p.byID[id] }

@@ -51,6 +51,8 @@ type Metrics struct {
 	Exits             int     `json:"exits"`
 	Failed            int     `json:"failed"`
 	Killed            int     `json:"killed,omitempty"`
+	MigratedOut       int     `json:"migrated_out,omitempty"`
+	MigratedIn        int     `json:"migrated_in,omitempty"`
 	ModelCalls        int64   `json:"model_calls,omitempty"`
 }
 
@@ -68,6 +70,8 @@ func MetricsOf(r *sim.Result) *Metrics {
 		Exits:             r.Exits,
 		Failed:            r.Failed,
 		Killed:            r.Killed,
+		MigratedOut:       r.MigratedOut,
+		MigratedIn:        r.MigratedIn,
 		ModelCalls:        r.ModelCalls,
 	}
 }

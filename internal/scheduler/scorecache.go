@@ -273,7 +273,15 @@ func (c *CachedChain) unbind() {
 
 // hostChanged is the pool-event listener: O(contexts) dirty-bit flips, no
 // rescoring — that happens lazily at the next Schedule of each context.
-func (c *CachedChain) hostChanged(h *cluster.Host, _ cluster.HostEvent) {
+// Membership events (host add/remove) invalidate the ID-indexed cache
+// arrays wholesale: the cache unbinds and the next Schedule rebinds against
+// the pool's new host set — or falls back to the exhaustive engine if the
+// removal left the IDs non-dense.
+func (c *CachedChain) hostChanged(h *cluster.Host, ev cluster.HostEvent) {
+	if ev == cluster.HostAdded || ev == cluster.HostRemoved {
+		c.unbind()
+		return
+	}
 	for _, cs := range c.list {
 		cs.markDirty(h.ID)
 	}

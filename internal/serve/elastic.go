@@ -1,0 +1,1048 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"lava/internal/cell"
+	"lava/internal/cluster"
+	"lava/internal/runner"
+	"lava/internal/sim"
+	"lava/internal/trace"
+)
+
+// ErrNoRoutableCell is returned by placements when every cell is drained or
+// retired. Rehydrate a cell (or split a new one) to resume admission.
+var ErrNoRoutableCell = errors.New("serve: no routable cell")
+
+// topology is the fleet's routing ledger: per-cell host counts,
+// routability, commitments and the VM→cell index. It is the one piece of
+// state the online front-end (Fleet, under its mutex) and the offline
+// script runner (RunScriptOffline, single-threaded) share verbatim — every
+// routing or elasticity decision is a pure function of this struct, which
+// is what makes an online run byte-comparable to its offline script.
+//
+// The ledger is updated at sequencing time, before the per-cell machines
+// apply the operation, and unconditionally: a cell-level failure (say, a
+// host removal refused because the host still runs VMs) surfaces as an
+// error to the operator but does not roll the ledger back, so both sides
+// keep identical ledgers for identical op streams. Parity guarantees
+// therefore cover scripts whose operations succeed.
+type topology struct {
+	kind string // router kind: round-robin | feature-hash | least-utilized
+	rr   int    // round-robin cursor
+
+	hosts    []int  // per-cell host count (rollup weight; 0 once retired)
+	routable []bool // cell accepts new placements
+	retired  []bool // cell was merged away: terminal, weight 0
+
+	committed []int64 // per-cell committed CPU-milli (the LU ledger)
+	vmCell    map[cluster.VMID]int
+	vmCPU     map[cluster.VMID]int64
+}
+
+// newTopology validates the router kind and builds the ledger over the
+// initial cells.
+func newTopology(kind string, hosts []int) (*topology, error) {
+	if kind == "" {
+		kind = "feature-hash"
+	}
+	ok := false
+	for _, k := range cell.RouterKinds() {
+		if k == kind {
+			ok = true
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown router %q", kind)
+	}
+	t := &topology{
+		kind:      kind,
+		hosts:     append([]int(nil), hosts...),
+		routable:  make([]bool, len(hosts)),
+		retired:   make([]bool, len(hosts)),
+		committed: make([]int64, len(hosts)),
+		vmCell:    make(map[cluster.VMID]int),
+		vmCPU:     make(map[cluster.VMID]int64),
+	}
+	for i := range t.routable {
+		t.routable[i] = true
+	}
+	return t, nil
+}
+
+// liveCell validates that c names a cell that has not been merged away.
+func (t *topology) liveCell(c int) error {
+	if c < 0 || c >= len(t.hosts) {
+		return fmt.Errorf("serve: no cell %d (fleet has %d)", c, len(t.hosts))
+	}
+	if t.retired[c] {
+		return fmt.Errorf("serve: cell %d is retired", c)
+	}
+	return nil
+}
+
+// routeCreate picks the cell for a new VM and records the decision. The
+// disciplines restrict themselves to routable cells:
+//
+//   - round-robin advances its cursor to the next routable cell;
+//   - feature-hash probes forward from hash(Feat) % cells past unroutable
+//     cells, so assignments are untouched by drain/rehydrate of *other*
+//     cells and shift only when the cell count itself changes;
+//   - least-utilized takes the lowest committed CPU per host, ties to the
+//     lowest index.
+func (t *topology) routeCreate(rec *trace.Record) (int, error) {
+	n := len(t.hosts)
+	c := -1
+	switch t.kind {
+	case "round-robin":
+		for i := 0; i < n; i++ {
+			cand := (t.rr + i) % n
+			if t.routable[cand] {
+				c = cand
+				t.rr = (cand + 1) % n
+				break
+			}
+		}
+	case "feature-hash":
+		start := cell.FeatureHash(rec, n)
+		for i := 0; i < n; i++ {
+			cand := (start + i) % n
+			if t.routable[cand] {
+				c = cand
+				break
+			}
+		}
+	case "least-utilized":
+		best := 0.0
+		for i := 0; i < n; i++ {
+			if !t.routable[i] || t.hosts[i] <= 0 {
+				continue
+			}
+			score := float64(t.committed[i]) / float64(t.hosts[i])
+			if c < 0 || score < best {
+				c, best = i, score
+			}
+		}
+	}
+	if c < 0 {
+		return 0, ErrNoRoutableCell
+	}
+	t.vmCell[rec.ID] = c
+	t.vmCPU[rec.ID] = rec.Shape.CPUMilli
+	t.committed[c] += rec.Shape.CPUMilli
+	return c, nil
+}
+
+// routeExit resolves which cell holds the VM and releases its commitment.
+// ok is false for VMs the fleet never routed.
+func (t *topology) routeExit(id cluster.VMID) (int, bool) {
+	c, ok := t.vmCell[id]
+	if !ok {
+		return 0, false
+	}
+	t.committed[c] -= t.vmCPU[id]
+	delete(t.vmCell, id)
+	delete(t.vmCPU, id)
+	return c, true
+}
+
+// addHosts grows cell c's ledger weight by n.
+func (t *topology) addHosts(c, n int) error {
+	if err := t.liveCell(c); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("serve: add %d hosts", n)
+	}
+	t.hosts[c] += n
+	return nil
+}
+
+// removeHost shrinks cell c's ledger weight by one. The last host cannot be
+// removed — merge the cell away instead.
+func (t *topology) removeHost(c int) error {
+	if err := t.liveCell(c); err != nil {
+		return err
+	}
+	if t.hosts[c] <= 1 {
+		return fmt.Errorf("serve: cell %d: cannot remove its last host (merge the cell instead)", c)
+	}
+	t.hosts[c]--
+	return nil
+}
+
+// setRoutable drains (false) or rehydrates (true) a cell. VMs already in a
+// drained cell keep running and exiting there; only new placements avoid it.
+func (t *topology) setRoutable(c int, v bool) error {
+	if err := t.liveCell(c); err != nil {
+		return err
+	}
+	t.routable[c] = v
+	return nil
+}
+
+// canSplit validates a split of k hosts out of cell c without committing.
+func (t *topology) canSplit(c, k int) error {
+	if err := t.liveCell(c); err != nil {
+		return err
+	}
+	if k < 1 || t.hosts[c]-k < 1 {
+		return fmt.Errorf("serve: cell %d (%d hosts): cannot split off %d", c, t.hosts[c], k)
+	}
+	return nil
+}
+
+// split commits a canSplit-validated split: cell c loses k hosts and a new
+// routable cell with k hosts appends. Returns the new cell's index.
+func (t *topology) split(c, k int) int {
+	t.hosts[c] -= k
+	t.hosts = append(t.hosts, k)
+	t.routable = append(t.routable, true)
+	t.retired = append(t.retired, false)
+	t.committed = append(t.committed, 0)
+	return len(t.hosts) - 1
+}
+
+// merge retires cell from into cell into: into absorbs from's ledger weight
+// and commitments, every VM routed to from — including capacity-failed ones
+// whose future exits must still resolve somewhere — is repointed at into,
+// and from becomes terminal (unroutable, retired, weight 0). Returns the
+// VMs to migrate, sorted by ID: the deterministic migration plan both the
+// online fleet and the offline runner execute.
+func (t *topology) merge(from, into int) ([]cluster.VMID, error) {
+	if err := t.liveCell(from); err != nil {
+		return nil, err
+	}
+	if err := t.liveCell(into); err != nil {
+		return nil, err
+	}
+	if from == into {
+		return nil, fmt.Errorf("serve: cell %d: merge into itself", from)
+	}
+	victims := make([]cluster.VMID, 0)
+	for id, c := range t.vmCell {
+		if c == from {
+			victims = append(victims, id)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, id := range victims {
+		t.vmCell[id] = into
+	}
+	t.committed[into] += t.committed[from]
+	t.committed[from] = 0
+	t.hosts[into] += t.hosts[from]
+	t.hosts[from] = 0
+	t.routable[from] = false
+	t.retired[from] = true
+	return victims, nil
+}
+
+// rebalance plans a deterministic load shift: source is the non-retired
+// cell with the highest committed CPU per host (ties to the lowest index),
+// destination the routable cell with the lowest. VMs move in ascending ID
+// order — min-over-map is order-independent, so the plan is identical
+// however the ledger was built — until the source's score drops to the
+// destination's or maxMoves is hit (maxMoves <= 0: unlimited). The ledger
+// is updated move by move; the returned plan is for the machines.
+func (t *topology) rebalance(maxMoves int) (src, dst int, victims []cluster.VMID) {
+	src, dst = -1, -1
+	var srcScore, dstScore float64
+	for i := range t.hosts {
+		if t.retired[i] || t.hosts[i] <= 0 {
+			continue
+		}
+		s := float64(t.committed[i]) / float64(t.hosts[i])
+		if src < 0 || s > srcScore {
+			src, srcScore = i, s
+		}
+		if t.routable[i] && (dst < 0 || s < dstScore) {
+			dst, dstScore = i, s
+		}
+	}
+	if src < 0 || dst < 0 || src == dst {
+		return -1, -1, nil
+	}
+	ids := make([]cluster.VMID, 0)
+	for id, c := range t.vmCell {
+		if c == src {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if maxMoves > 0 && len(victims) >= maxMoves {
+			break
+		}
+		if float64(t.committed[src])/float64(t.hosts[src]) <= float64(t.committed[dst])/float64(t.hosts[dst]) {
+			break
+		}
+		cpu := t.vmCPU[id]
+		t.vmCell[id] = dst
+		t.committed[src] -= cpu
+		t.committed[dst] += cpu
+		victims = append(victims, id)
+	}
+	return src, dst, victims
+}
+
+// --- scripted elasticity (the offline half of the parity harness) ----------
+
+// OpKind enumerates scripted fleet operations.
+type OpKind uint8
+
+// Script operations. The first three mirror the request stream a client
+// sends; the rest are the elasticity admin ops.
+const (
+	OpPlace OpKind = iota
+	OpExit
+	OpTick
+	OpAddHosts
+	OpRemoveHost
+	OpDrainCell
+	OpRehydrateCell
+	OpSplitCell
+	OpMergeCells
+	OpRebalance
+)
+
+// String renders the op name.
+func (k OpKind) String() string {
+	switch k {
+	case OpPlace:
+		return "place"
+	case OpExit:
+		return "exit"
+	case OpTick:
+		return "tick"
+	case OpAddHosts:
+		return "add-hosts"
+	case OpRemoveHost:
+		return "remove-host"
+	case OpDrainCell:
+		return "drain-cell"
+	case OpRehydrateCell:
+		return "rehydrate-cell"
+	case OpSplitCell:
+		return "split-cell"
+	case OpMergeCells:
+		return "merge-cells"
+	case OpRebalance:
+		return "rebalance"
+	default:
+		return "op(?)"
+	}
+}
+
+// Op is one scripted fleet operation. A script is a sequence of Ops in
+// global order: op i corresponds to fleet sequence number i+1, which is how
+// the elasticity tests replay the same script online at any concurrency.
+type Op struct {
+	Kind OpKind
+	At   time.Duration  // virtual time (place/exit/tick/admin ops)
+	Rec  trace.Record   // OpPlace
+	VM   cluster.VMID   // OpExit
+	Cell int            // target cell; OpMergeCells: source
+	Into int            // OpMergeCells: destination
+	N    int            // OpAddHosts: count; OpSplitCell: hosts to carve; OpRebalance: max moves
+	Host cluster.HostID // OpRemoveHost
+}
+
+// newCellMachine builds the bare simulation machine for one cell, exactly
+// as serve.New does for the online server — same header trace, same policy
+// factory, same injectors — so a scripted offline run and a served online
+// run drive byte-identical engines.
+func newCellMachine(cfg FleetConfig, idx, hosts int) (*sim.Machine, error) {
+	pol, err := cfg.NewPolicy(idx)
+	if err == nil && pol == nil {
+		err = errors.New("serve: fleet policy factory returned nil")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: fleet cell %d: %w", idx, err)
+	}
+	ht := &trace.Trace{
+		PoolName: fmt.Sprintf("%s/cell-%d", cfg.PoolName, idx),
+		Hosts:    hosts,
+		HostCPU:  cfg.HostShape.CPUMilli,
+		HostMem:  cfg.HostShape.MemoryMB,
+		HostSSD:  cfg.HostShape.SSDGB,
+		WarmUp:   cfg.WarmUp,
+		Horizon:  cfg.Horizon,
+	}
+	var inj []sim.Injector
+	if cfg.Injectors != nil {
+		inj = cfg.Injectors(idx)
+	}
+	m, err := sim.NewMachine(sim.Config{
+		Trace:       ht,
+		Policy:      pol,
+		WarmUp:      cfg.WarmUp,
+		SampleEvery: cfg.SampleEvery,
+		TickEvery:   cfg.TickEvery,
+		Injectors:   inj,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: fleet cell %d: %w", idx, err)
+	}
+	return m, nil
+}
+
+// RunScriptOffline executes an elasticity script sequentially against bare
+// per-cell simulation machines — no event loops, no sequencer, no HTTP —
+// and rolls the final results up. It is the ground truth the live Fleet is
+// diffed against: Fleet sequence number i+1 must produce exactly ops[i],
+// so a fleet replaying the script at any concurrency drains to a
+// byte-identical report.
+func RunScriptOffline(cfg FleetConfig, ops []Op) (*cell.Rollup, error) {
+	if cfg.Cells <= 0 {
+		return nil, fmt.Errorf("serve: fleet needs at least one cell, got %d", cfg.Cells)
+	}
+	if cfg.Hosts < cfg.Cells {
+		return nil, fmt.Errorf("serve: %d hosts cannot form %d cells", cfg.Hosts, cfg.Cells)
+	}
+	if cfg.NewPolicy == nil {
+		return nil, errors.New("serve: fleet config needs a policy factory")
+	}
+	if cfg.PoolName == "" {
+		cfg.PoolName = "pool"
+	}
+	hosts := cell.SplitHosts(cfg.Hosts, cfg.Cells)
+	topo, err := newTopology(cfg.Router, hosts)
+	if err != nil {
+		return nil, err
+	}
+	machines := make([]*sim.Machine, cfg.Cells)
+	for i := range machines {
+		if machines[i], err = newCellMachine(cfg, i, hosts[i]); err != nil {
+			return nil, err
+		}
+	}
+	fail := func(i int, op Op, err error) error {
+		return fmt.Errorf("serve: script op %d (%s): %w", i, op.Kind, err)
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpPlace:
+			c, err := topo.routeCreate(&op.Rec)
+			if err != nil {
+				return nil, fail(i, op, err)
+			}
+			if _, err := machines[c].Create(op.Rec, op.At); err != nil {
+				return nil, fail(i, op, err)
+			}
+		case OpExit:
+			if c, ok := topo.routeExit(op.VM); ok {
+				if _, err := machines[c].Exit(op.VM, op.At); err != nil {
+					return nil, fail(i, op, err)
+				}
+			}
+		case OpTick:
+			for c, m := range machines {
+				if topo.retired[c] {
+					continue
+				}
+				if err := m.Advance(op.At); err != nil {
+					return nil, fail(i, op, err)
+				}
+			}
+		case OpAddHosts:
+			if err := topo.addHosts(op.Cell, op.N); err != nil {
+				return nil, fail(i, op, err)
+			}
+			if err := machines[op.Cell].AddHosts(op.N, op.At); err != nil {
+				return nil, fail(i, op, err)
+			}
+		case OpRemoveHost:
+			if err := topo.removeHost(op.Cell); err != nil {
+				return nil, fail(i, op, err)
+			}
+			if err := machines[op.Cell].RemoveHost(op.Host, op.At); err != nil {
+				return nil, fail(i, op, err)
+			}
+		case OpDrainCell:
+			if err := topo.setRoutable(op.Cell, false); err != nil {
+				return nil, fail(i, op, err)
+			}
+		case OpRehydrateCell:
+			if err := topo.setRoutable(op.Cell, true); err != nil {
+				return nil, fail(i, op, err)
+			}
+		case OpSplitCell:
+			if err := topo.canSplit(op.Cell, op.N); err != nil {
+				return nil, fail(i, op, err)
+			}
+			oldCount := topo.hosts[op.Cell]
+			newIdx := topo.split(op.Cell, op.N)
+			m, err := newCellMachine(cfg, newIdx, op.N)
+			if err != nil {
+				return nil, fail(i, op, err)
+			}
+			machines = append(machines, m)
+			// The online fleet removes the same hosts: the k highest IDs,
+			// highest first, keeping the source pool's IDs dense.
+			for j := 0; j < op.N; j++ {
+				id := cluster.HostID(oldCount - 1 - j)
+				if err := machines[op.Cell].RemoveHost(id, op.At); err != nil {
+					return nil, fail(i, op, err)
+				}
+			}
+		case OpMergeCells:
+			grow := 0
+			if op.Cell >= 0 && op.Cell < len(topo.hosts) {
+				grow = topo.hosts[op.Cell]
+			}
+			victims, err := topo.merge(op.Cell, op.Into)
+			if err != nil {
+				return nil, fail(i, op, err)
+			}
+			if err := machines[op.Into].AddHosts(grow, op.At); err != nil {
+				return nil, fail(i, op, err)
+			}
+			for _, id := range victims {
+				vm, _, err := machines[op.Cell].MigrateOut(id, op.At)
+				if err != nil {
+					return nil, fail(i, op, err)
+				}
+				if _, _, err := machines[op.Into].MigrateIn(vm, op.At); err != nil {
+					return nil, fail(i, op, err)
+				}
+			}
+		case OpRebalance:
+			src, dst, victims := topo.rebalance(op.N)
+			for _, id := range victims {
+				vm, _, err := machines[src].MigrateOut(id, op.At)
+				if err != nil {
+					return nil, fail(i, op, err)
+				}
+				if _, _, err := machines[dst].MigrateIn(vm, op.At); err != nil {
+					return nil, fail(i, op, err)
+				}
+			}
+		default:
+			return nil, fail(i, op, fmt.Errorf("unknown op kind %d", op.Kind))
+		}
+	}
+	results := make([]*sim.Result, len(machines))
+	for i, m := range machines {
+		if results[i], err = m.Finish(); err != nil {
+			return nil, fmt.Errorf("serve: script finish cell %d: %w", i, err)
+		}
+	}
+	return cell.RollUp(topo.kind, topo.hosts, results)
+}
+
+// FleetReportOf projects a rollup into the canonical fleet report — the
+// exact struct a live fleet's /drain marshals, so an offline script or
+// scenario run and an online serve of the same stream can be diffed
+// byte-for-byte as JSON documents.
+func FleetReportOf(pool, policy string, roll *cell.Rollup) FleetDrainResponse {
+	out := FleetDrainResponse{
+		Pool:   pool,
+		Policy: policy,
+		Metrics: &runner.Metrics{
+			AvgEmptyHostFrac:  roll.AvgEmptyHostFrac,
+			AvgEmptyToFree:    roll.AvgEmptyToFree,
+			AvgPackingDensity: roll.AvgPackingDensity,
+			AvgCPUUtil:        roll.AvgCPUUtil,
+			Placements:        roll.Placements,
+			Exits:             roll.Exits,
+			Failed:            roll.Failed,
+			Killed:            roll.Killed,
+			MigratedOut:       roll.MigratedOut,
+			MigratedIn:        roll.MigratedIn,
+			ModelCalls:        roll.ModelCalls,
+		},
+		Router:     roll.Router,
+		Hosts:      roll.Hosts,
+		UtilSpread: roll.UtilSpread,
+		Cells:      make([]DrainResponse, len(roll.Cells)),
+	}
+	for i, res := range roll.Cells {
+		out.SeriesLen += res.Series.Len()
+		out.Cells[i] = DrainResponse{
+			Pool:      res.PoolName,
+			Policy:    res.Policy,
+			Metrics:   runner.MetricsOf(res),
+			SeriesLen: res.Series.Len(),
+		}
+	}
+	return out
+}
+
+// --- online admin ops -------------------------------------------------------
+//
+// Every op below follows the same shape as Place: acquire the global
+// routing turn (seq > 0 parks until it is this op's turn), mutate the
+// topology ledger and reserve the per-cell sequence numbers for whatever
+// cell-level operations the op will dispatch — all under the fleet mutex —
+// then release the turn and dispatch without the lock. Concurrent requests
+// to the same cells order correctly through the per-cell reorder buffers,
+// so an admin op is just another citizen of the sequenced stream.
+
+// enterAdminLocked acquires the routing turn for an admin op.
+func (f *Fleet) enterAdminLocked(seq uint64) error {
+	if seq > 0 {
+		return f.enterSeqLocked(seq)
+	}
+	if f.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// consumeTurnLocked consumes a granted routing turn without dispatching —
+// the ledger refused the op — and releases the lock. Later sequence
+// numbers must not park forever behind a failed admin op.
+func (f *Fleet) consumeTurnLocked(seq uint64) {
+	if seq > 0 {
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+	if seq > 0 {
+		f.doneDispatch()
+	}
+}
+
+// AddHosts grows cell c by n hosts at virtual time at, sequenced like any
+// request (seq > 0 enrolls the op in the global ordered stream).
+func (f *Fleet) AddHosts(c, n int, at time.Duration, seq uint64) error {
+	if f.draining.Load() {
+		return ErrDraining
+	}
+	f.mu.Lock()
+	if err := f.enterAdminLocked(seq); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if err := f.topo.addHosts(c, n); err != nil {
+		f.consumeTurnLocked(seq)
+		return err
+	}
+	srv := f.cells[c]
+	var cs uint64
+	if seq > 0 {
+		cs = f.nextCellSeqLocked(c)
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+	err := srv.AddHosts(n, at, cs)
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	return err
+}
+
+// RemoveHost retires one host from cell c at virtual time at. The ledger
+// weight drops at sequencing time; if the cell then refuses the removal
+// (the host still runs VMs) the error surfaces to the operator while the
+// ledger keeps the decremented weight — see topology for why.
+func (f *Fleet) RemoveHost(c int, id cluster.HostID, at time.Duration, seq uint64) error {
+	if f.draining.Load() {
+		return ErrDraining
+	}
+	f.mu.Lock()
+	if err := f.enterAdminLocked(seq); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if err := f.topo.removeHost(c); err != nil {
+		f.consumeTurnLocked(seq)
+		return err
+	}
+	srv := f.cells[c]
+	var cs uint64
+	if seq > 0 {
+		cs = f.nextCellSeqLocked(c)
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+	err := srv.RemoveHost(id, at, cs)
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	return err
+}
+
+// DrainCell stops routing new placements to cell c. VMs already there keep
+// running and exiting; sequenced requests in flight to the cell land
+// normally — nothing is dropped. A pure ledger flip: no cell-level op.
+func (f *Fleet) DrainCell(c int, seq uint64) error {
+	if f.draining.Load() {
+		return ErrDraining
+	}
+	f.mu.Lock()
+	if err := f.enterAdminLocked(seq); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	lerr := f.topo.setRoutable(c, false)
+	f.consumeTurnLocked(seq)
+	return lerr
+}
+
+// RehydrateCell resumes routing placements to a drained cell.
+func (f *Fleet) RehydrateCell(c int, seq uint64) error {
+	if f.draining.Load() {
+		return ErrDraining
+	}
+	f.mu.Lock()
+	if err := f.enterAdminLocked(seq); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	lerr := f.topo.setRoutable(c, true)
+	f.consumeTurnLocked(seq)
+	return lerr
+}
+
+// SplitCell carves k hosts out of cell c into a brand-new routable cell
+// (fresh pool, fresh policy from the fleet's factory) and returns the new
+// cell's index. The source gives up its k highest-ID hosts, removed
+// highest-first so its IDs stay dense and its score caches rebind instead
+// of degrading; those hosts must be empty — rebalance or drain first.
+func (f *Fleet) SplitCell(c, k int, at time.Duration, seq uint64) (int, error) {
+	if f.draining.Load() {
+		return 0, ErrDraining
+	}
+	f.mu.Lock()
+	if err := f.enterAdminLocked(seq); err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
+	if err := f.topo.canSplit(c, k); err != nil {
+		f.consumeTurnLocked(seq)
+		return 0, err
+	}
+	srv, err := newCellServer(f.cfg, len(f.topo.hosts), k)
+	if err != nil {
+		f.consumeTurnLocked(seq)
+		return 0, fmt.Errorf("serve: split cell %d: %w", c, err)
+	}
+	oldCount := f.topo.hosts[c]
+	newIdx := f.topo.split(c, k)
+	f.cells = append(f.cells, srv)
+	f.cellSeq = append(f.cellSeq, 0)
+	src := f.cells[c]
+	css := make([]uint64, k)
+	if seq > 0 {
+		for i := range css {
+			css[i] = f.nextCellSeqLocked(c)
+		}
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+
+	var errs []error
+	for i := 0; i < k; i++ {
+		id := cluster.HostID(oldCount - 1 - i)
+		if err := src.RemoveHost(id, at, css[i]); err != nil {
+			errs = append(errs, fmt.Errorf("serve: split cell %d: remove host %d: %w", c, id, err))
+		}
+	}
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	return newIdx, errors.Join(errs...)
+}
+
+// MergeCells merges cell from into cell into: into grows by from's host
+// count, every VM in from migrates over through the MigrateOut/MigrateIn
+// seam (in ascending VM ID order), and from retires — unroutable, weight
+// zero, clock frozen until the fleet drains. Sequence numbers for all the
+// cell-level steps are reserved up front, so requests racing the merge
+// order deterministically around it; exits of migrated (and even
+// capacity-failed) VMs route to into afterwards.
+func (f *Fleet) MergeCells(from, into int, at time.Duration, seq uint64) error {
+	if f.draining.Load() {
+		return ErrDraining
+	}
+	f.mu.Lock()
+	if err := f.enterAdminLocked(seq); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	grow := 0
+	if from >= 0 && from < len(f.topo.hosts) {
+		grow = f.topo.hosts[from]
+	}
+	victims, lerr := f.topo.merge(from, into)
+	if lerr != nil {
+		f.consumeTurnLocked(seq)
+		return lerr
+	}
+	src, dst := f.cells[from], f.cells[into]
+	var growSeq uint64
+	outSeqs := make([]uint64, len(victims))
+	inSeqs := make([]uint64, len(victims))
+	if seq > 0 {
+		growSeq = f.nextCellSeqLocked(into)
+		for i := range victims {
+			outSeqs[i] = f.nextCellSeqLocked(from)
+			inSeqs[i] = f.nextCellSeqLocked(into)
+		}
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+
+	var errs []error
+	if err := dst.AddHosts(grow, at, growSeq); err != nil {
+		errs = append(errs, fmt.Errorf("serve: merge %d->%d: grow: %w", from, into, err))
+	}
+	for i, id := range victims {
+		vm, _, err := src.MigrateOut(id, at, outSeqs[i])
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: merge %d->%d: out vm %d: %w", from, into, id, err))
+		}
+		// A nil vm (the VM was not running — e.g. its placement failed for
+		// capacity) still dispatches: the reserved slot in the destination
+		// stream must be consumed to keep the cell sequence contiguous.
+		if _, _, err := dst.MigrateIn(vm, at, inSeqs[i]); err != nil {
+			errs = append(errs, fmt.Errorf("serve: merge %d->%d: in vm %d: %w", from, into, id, err))
+		}
+	}
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	return errors.Join(errs...)
+}
+
+// Rebalance migrates VMs from the most-utilized cell to the least-utilized
+// routable cell (by the commitment ledger) until their scores meet or
+// maxMoves is reached (<= 0: unlimited). Returns the number of VMs moved.
+// The plan is computed deterministically at sequencing time, so an online
+// rebalance moves exactly the VMs its offline script twin does.
+func (f *Fleet) Rebalance(maxMoves int, at time.Duration, seq uint64) (int, error) {
+	if f.draining.Load() {
+		return 0, ErrDraining
+	}
+	f.mu.Lock()
+	if err := f.enterAdminLocked(seq); err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
+	srcIdx, dstIdx, victims := f.topo.rebalance(maxMoves)
+	if len(victims) == 0 {
+		f.consumeTurnLocked(seq)
+		return 0, nil
+	}
+	src, dst := f.cells[srcIdx], f.cells[dstIdx]
+	outSeqs := make([]uint64, len(victims))
+	inSeqs := make([]uint64, len(victims))
+	if seq > 0 {
+		for i := range victims {
+			outSeqs[i] = f.nextCellSeqLocked(srcIdx)
+			inSeqs[i] = f.nextCellSeqLocked(dstIdx)
+		}
+		f.advanceLocked()
+	}
+	f.mu.Unlock()
+
+	var errs []error
+	for i, id := range victims {
+		vm, _, err := src.MigrateOut(id, at, outSeqs[i])
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: rebalance: out vm %d: %w", id, err))
+		}
+		if _, _, err := dst.MigrateIn(vm, at, inSeqs[i]); err != nil {
+			errs = append(errs, fmt.Errorf("serve: rebalance: in vm %d: %w", id, err))
+		}
+	}
+	if seq > 0 {
+		f.doneDispatch()
+	}
+	return len(victims), errors.Join(errs...)
+}
+
+// --- admin wire types, handlers and client methods -------------------------
+
+// AdminAddHostsRequest grows one cell by N hosts at virtual time At.
+type AdminAddHostsRequest struct {
+	Seq  uint64        `json:"seq,omitempty"`
+	At   time.Duration `json:"at_ns,omitempty"`
+	Cell int           `json:"cell"`
+	N    int           `json:"n"`
+}
+
+// AdminRemoveHostRequest retires one empty host from a cell.
+type AdminRemoveHostRequest struct {
+	Seq  uint64         `json:"seq,omitempty"`
+	At   time.Duration  `json:"at_ns,omitempty"`
+	Cell int            `json:"cell"`
+	Host cluster.HostID `json:"host"`
+}
+
+// AdminCellRequest names one cell (drain-cell, rehydrate-cell).
+type AdminCellRequest struct {
+	Seq  uint64 `json:"seq,omitempty"`
+	Cell int    `json:"cell"`
+}
+
+// AdminSplitRequest carves N hosts out of a cell into a new cell.
+type AdminSplitRequest struct {
+	Seq  uint64        `json:"seq,omitempty"`
+	At   time.Duration `json:"at_ns,omitempty"`
+	Cell int           `json:"cell"`
+	N    int           `json:"n"`
+}
+
+// AdminSplitResponse reports the new cell's index.
+type AdminSplitResponse struct {
+	NewCell int `json:"new_cell"`
+}
+
+// AdminMergeRequest merges cell From into cell Into and retires From.
+type AdminMergeRequest struct {
+	Seq  uint64        `json:"seq,omitempty"`
+	At   time.Duration `json:"at_ns,omitempty"`
+	From int           `json:"from"`
+	Into int           `json:"into"`
+}
+
+// AdminRebalanceRequest moves VMs from the most- to the least-utilized
+// cell. MaxMoves <= 0 moves until the scores meet.
+type AdminRebalanceRequest struct {
+	Seq      uint64        `json:"seq,omitempty"`
+	At       time.Duration `json:"at_ns,omitempty"`
+	MaxMoves int           `json:"max_moves,omitempty"`
+}
+
+// AdminRebalanceResponse reports how many VMs moved.
+type AdminRebalanceResponse struct {
+	Moves int `json:"moves"`
+}
+
+// AdminOKResponse acknowledges an admin op with no other payload.
+type AdminOKResponse struct {
+	OK bool `json:"ok"`
+}
+
+func (f *Fleet) handleAddHosts(w http.ResponseWriter, r *http.Request) {
+	var req AdminAddHostsRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	if err := f.AddHosts(req.Cell, req.N, req.At, req.Seq); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AdminOKResponse{OK: true})
+}
+
+func (f *Fleet) handleRemoveHost(w http.ResponseWriter, r *http.Request) {
+	var req AdminRemoveHostRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	if err := f.RemoveHost(req.Cell, req.Host, req.At, req.Seq); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AdminOKResponse{OK: true})
+}
+
+func (f *Fleet) handleDrainCell(w http.ResponseWriter, r *http.Request) {
+	var req AdminCellRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	if err := f.DrainCell(req.Cell, req.Seq); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AdminOKResponse{OK: true})
+}
+
+func (f *Fleet) handleRehydrateCell(w http.ResponseWriter, r *http.Request) {
+	var req AdminCellRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	if err := f.RehydrateCell(req.Cell, req.Seq); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AdminOKResponse{OK: true})
+}
+
+func (f *Fleet) handleSplitCell(w http.ResponseWriter, r *http.Request) {
+	var req AdminSplitRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	newCell, err := f.SplitCell(req.Cell, req.N, req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AdminSplitResponse{NewCell: newCell})
+}
+
+func (f *Fleet) handleMergeCells(w http.ResponseWriter, r *http.Request) {
+	var req AdminMergeRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	if err := f.MergeCells(req.From, req.Into, req.At, req.Seq); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AdminOKResponse{OK: true})
+}
+
+func (f *Fleet) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var req AdminRebalanceRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	moves, err := f.Rebalance(req.MaxMoves, req.At, req.Seq)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AdminRebalanceResponse{Moves: moves})
+}
+
+// AddHosts grows one cell of a served fleet.
+func (c *Client) AddHosts(ctx context.Context, req AdminAddHostsRequest) error {
+	return c.post(ctx, "/admin/add-hosts", req, nil)
+}
+
+// RemoveHost retires one empty host from a fleet cell.
+func (c *Client) RemoveHost(ctx context.Context, req AdminRemoveHostRequest) error {
+	return c.post(ctx, "/admin/remove-host", req, nil)
+}
+
+// DrainCell stops routing new placements to a cell.
+func (c *Client) DrainCell(ctx context.Context, req AdminCellRequest) error {
+	return c.post(ctx, "/admin/drain-cell", req, nil)
+}
+
+// RehydrateCell resumes routing placements to a drained cell.
+func (c *Client) RehydrateCell(ctx context.Context, req AdminCellRequest) error {
+	return c.post(ctx, "/admin/rehydrate-cell", req, nil)
+}
+
+// SplitCell carves hosts out of one cell into a new cell and returns the
+// new cell's index.
+func (c *Client) SplitCell(ctx context.Context, req AdminSplitRequest) (AdminSplitResponse, error) {
+	var out AdminSplitResponse
+	err := c.post(ctx, "/admin/split-cell", req, &out)
+	return out, err
+}
+
+// MergeCells merges one cell into another and retires the source.
+func (c *Client) MergeCells(ctx context.Context, req AdminMergeRequest) error {
+	return c.post(ctx, "/admin/merge-cells", req, nil)
+}
+
+// Rebalance migrates VMs from the most- to the least-utilized cell.
+func (c *Client) Rebalance(ctx context.Context, req AdminRebalanceRequest) (AdminRebalanceResponse, error) {
+	var out AdminRebalanceResponse
+	err := c.post(ctx, "/admin/rebalance", req, &out)
+	return out, err
+}

@@ -60,6 +60,13 @@ type FleetConfig struct {
 	SampleEvery time.Duration
 	QueueDepth  int
 
+	// Injectors builds the injector set for one cell (e.g. a scenario
+	// spec's per-cell injectors). Like NewPolicy it is a factory, not a
+	// value: injectors carry per-cell RNG state and must never be shared
+	// across event loops. Cells created later by SplitCell call it with
+	// their new index. Nil means no injectors.
+	Injectors func(cellIdx int) []sim.Injector
+
 	// Memo is the prediction cache shared by all cells' policies, if the
 	// caller memoized the predictor. One table serves the whole fleet: the
 	// key space is (features, uptime), which no cell split changes.
@@ -99,24 +106,20 @@ func FleetFromTrace(tr *trace.Trace) FleetConfig {
 // still sees exactly the event sequence offline sharding would hand it.
 type Fleet struct {
 	cfg    FleetConfig
-	hosts  []int
-	cells  []*Server
-	router cell.Router // nil when the live least-utilized router is active
-	liveLU bool
 	policy string // policy name, for stats/drain payloads
 
 	draining atomic.Bool
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	// Sequencer state (all under mu).
+	// Sequencer, topology and cell set (all under mu; elasticity ops grow
+	// cells and cellSeq, so readers snapshot them under the lock).
+	topo      *topology
+	cells     []*Server
 	nextSeq   uint64         // the global sequence number admitted next
 	parked    map[uint64]int // waiter count per not-yet-admitted sequence
 	inflight  int            // admitted requests not yet answered by their cell
 	cellSeq   []uint64       // last per-cell sequence number issued
-	vmCell    map[cluster.VMID]int
-	vmCPU     map[cluster.VMID]int64
-	committed []int64 // live committed CPU-milli per cell (the LU ledger)
 	closed    bool
 	flushed   bool // a drain flushed the sequencer: nothing may park anymore
 	drainBusy bool
@@ -139,90 +142,99 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.PoolName == "" {
 		cfg.PoolName = "pool"
 	}
-	routerKind := cfg.Router
-	if routerKind == "" {
-		routerKind = "feature-hash"
-	}
 	hosts := cell.SplitHosts(cfg.Hosts, cfg.Cells)
+	topo, err := newTopology(cfg.Router, hosts)
+	if err != nil {
+		return nil, err
+	}
 	f := &Fleet{
-		cfg:       cfg,
-		hosts:     hosts,
-		nextSeq:   1,
-		parked:    make(map[uint64]int),
-		cellSeq:   make([]uint64, cfg.Cells),
-		vmCell:    make(map[cluster.VMID]int),
-		vmCPU:     make(map[cluster.VMID]int64),
-		committed: make([]int64, cfg.Cells),
+		cfg:     cfg,
+		topo:    topo,
+		nextSeq: 1,
+		parked:  make(map[uint64]int),
+		cellSeq: make([]uint64, cfg.Cells),
 	}
 	f.cond = sync.NewCond(&f.mu)
-	if routerKind == "least-utilized" {
-		f.liveLU = true
-	} else {
-		r, err := cell.NewRouter(routerKind, hosts)
-		if err != nil {
-			return nil, err
-		}
-		f.router = r
-	}
 
 	f.cells = make([]*Server, cfg.Cells)
 	for i := range f.cells {
-		pol, err := cfg.NewPolicy(i)
-		if err == nil && pol == nil {
-			err = errors.New("serve: fleet policy factory returned nil")
-		}
+		s, err := newCellServer(cfg, i, hosts[i])
 		if err != nil {
 			for _, s := range f.cells[:i] {
 				s.Close()
 			}
-			return nil, fmt.Errorf("serve: fleet cell %d: %w", i, err)
-		}
-		s, err := New(Config{
-			// The offline counterpart (cell.Shard) names cells the same
-			// way; keeping the names aligned keeps drain payloads diffable.
-			PoolName:    fmt.Sprintf("%s/cell-%d", cfg.PoolName, i),
-			Hosts:       hosts[i],
-			HostShape:   cfg.HostShape,
-			WarmUp:      cfg.WarmUp,
-			Horizon:     cfg.Horizon,
-			Policy:      pol,
-			TickEvery:   cfg.TickEvery,
-			SampleEvery: cfg.SampleEvery,
-			QueueDepth:  cfg.QueueDepth,
-			Memo:        cfg.Memo,
-			TraceK:      cfg.TraceK,
-			TraceCap:    cfg.TraceCap,
-		})
-		if err != nil {
-			for _, s := range f.cells[:i] {
-				s.Close()
-			}
-			return nil, fmt.Errorf("serve: fleet cell %d: %w", i, err)
+			return nil, err
 		}
 		f.cells[i] = s
 		if i == 0 {
-			f.policy = pol.Name()
+			f.policy = s.cfg.Policy.Name()
 		}
 	}
 	return f, nil
 }
 
-// RouterName reports the active routing discipline.
-func (f *Fleet) RouterName() string {
-	if f.liveLU {
-		return "least-utilized"
+// newCellServer builds and starts the per-cell Server for cell idx, from
+// the same fleet config whether the cell is original (NewFleet) or carved
+// out later (SplitCell).
+func newCellServer(cfg FleetConfig, idx, hosts int) (*Server, error) {
+	pol, err := cfg.NewPolicy(idx)
+	if err == nil && pol == nil {
+		err = errors.New("serve: fleet policy factory returned nil")
 	}
-	return f.router.Name()
+	if err != nil {
+		return nil, fmt.Errorf("serve: fleet cell %d: %w", idx, err)
+	}
+	var inj []sim.Injector
+	if cfg.Injectors != nil {
+		inj = cfg.Injectors(idx)
+	}
+	s, err := New(Config{
+		// The offline counterpart (cell.Shard) names cells the same
+		// way; keeping the names aligned keeps drain payloads diffable.
+		PoolName:    fmt.Sprintf("%s/cell-%d", cfg.PoolName, idx),
+		Hosts:       hosts,
+		HostShape:   cfg.HostShape,
+		WarmUp:      cfg.WarmUp,
+		Horizon:     cfg.Horizon,
+		Policy:      pol,
+		TickEvery:   cfg.TickEvery,
+		SampleEvery: cfg.SampleEvery,
+		Injectors:   inj,
+		QueueDepth:  cfg.QueueDepth,
+		Memo:        cfg.Memo,
+		TraceK:      cfg.TraceK,
+		TraceCap:    cfg.TraceCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: fleet cell %d: %w", idx, err)
+	}
+	return s, nil
 }
 
-// Cells reports the number of cells.
-func (f *Fleet) Cells() int { return len(f.cells) }
+// RouterName reports the active routing discipline.
+func (f *Fleet) RouterName() string { return f.topo.kind }
 
-// CellHosts returns the per-cell host counts (a copy).
+// Cells reports the number of cells, including retired ones.
+func (f *Fleet) Cells() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.cells)
+}
+
+// CellHosts returns the per-cell host counts (a copy; retired cells weigh
+// zero).
 func (f *Fleet) CellHosts() []int {
-	out := make([]int, len(f.hosts))
-	copy(out, f.hosts)
-	return out
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.topo.hosts...)
+}
+
+// snapshotCells copies the cell set and retirement flags under the lock;
+// elasticity ops may grow or retire cells at any moment.
+func (f *Fleet) snapshotCells() (cells []*Server, retired []bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Server(nil), f.cells...), append([]bool(nil), f.topo.retired...)
 }
 
 // Close stops every cell's event loop and wakes all parked waiters with
@@ -231,8 +243,9 @@ func (f *Fleet) Close() {
 	f.mu.Lock()
 	f.closed = true
 	f.cond.Broadcast()
+	cells := append([]*Server(nil), f.cells...)
 	f.mu.Unlock()
-	for _, s := range f.cells {
+	for _, s := range cells {
 		s.Close()
 	}
 }
@@ -287,44 +300,6 @@ func (f *Fleet) doneDispatch() {
 	f.mu.Unlock()
 }
 
-// routeCreateLocked picks the cell for a new VM and records the decision in
-// the fleet's ledgers: exits must follow their VM, and the live
-// least-utilized router reads the committed counters this maintains.
-func (f *Fleet) routeCreateLocked(rec *trace.Record) int {
-	var c int
-	if f.liveLU {
-		// Live least-utilized: lowest committed CPU per host right now,
-		// ties to the lowest index. Unlike the offline router, which
-		// consults the trace's ground-truth lifetimes, this ledger only
-		// knows what the request stream has actually admitted and exited.
-		best := float64(f.committed[0]) / float64(f.hosts[0])
-		for i := 1; i < len(f.hosts); i++ {
-			if score := float64(f.committed[i]) / float64(f.hosts[i]); score < best {
-				best, c = score, i
-			}
-		}
-	} else {
-		c = f.router.Route(rec)
-	}
-	f.vmCell[rec.ID] = c
-	f.vmCPU[rec.ID] = rec.Shape.CPUMilli
-	f.committed[c] += rec.Shape.CPUMilli
-	return c
-}
-
-// routeExitLocked resolves which cell holds the VM and releases its
-// commitment. ok is false for VMs the fleet never routed.
-func (f *Fleet) routeExitLocked(id cluster.VMID) (int, bool) {
-	c, ok := f.vmCell[id]
-	if !ok {
-		return 0, false
-	}
-	f.committed[c] -= f.vmCPU[id]
-	delete(f.vmCell, id)
-	delete(f.vmCPU, id)
-	return c, true
-}
-
 // nextCellSeqLocked issues the next contiguous sequence number for cell c.
 func (f *Fleet) nextCellSeqLocked(c int) uint64 {
 	f.cellSeq[c]++
@@ -347,15 +322,29 @@ func (f *Fleet) Place(rec trace.Record, at time.Duration, seq uint64) (host clus
 		f.mu.Unlock()
 		return 0, false, ErrClosed
 	}
-	c := f.routeCreateLocked(&rec)
+	c, rerr := f.topo.routeCreate(&rec)
+	var srv *Server
 	var cs uint64
+	if rerr == nil {
+		srv = f.cells[c]
+		if seq > 0 {
+			cs = f.nextCellSeqLocked(c)
+		}
+	}
 	if seq > 0 {
-		cs = f.nextCellSeqLocked(c)
+		// The routing turn is consumed even when routing failed (every cell
+		// drained): later sequence numbers must not park forever behind it.
 		f.advanceLocked()
 	}
 	f.mu.Unlock()
 
-	host, placed, err = f.cells[c].Place(rec, at, cs)
+	if rerr != nil {
+		if seq > 0 {
+			f.doneDispatch()
+		}
+		return 0, false, rerr
+	}
+	host, placed, err = srv.Place(rec, at, cs)
 	if seq > 0 {
 		f.doneDispatch()
 	}
@@ -381,12 +370,16 @@ func (f *Fleet) ExitVM(id cluster.VMID, at time.Duration, seq uint64) (removed b
 		f.mu.Unlock()
 		return false, ErrClosed
 	}
-	c, ok := f.routeExitLocked(id)
+	c, ok := f.topo.routeExit(id)
+	var srv *Server
 	var cs uint64
-	if seq > 0 {
-		if ok {
+	if ok {
+		srv = f.cells[c]
+		if seq > 0 {
 			cs = f.nextCellSeqLocked(c)
 		}
+	}
+	if seq > 0 {
 		f.advanceLocked()
 	}
 	f.mu.Unlock()
@@ -397,41 +390,52 @@ func (f *Fleet) ExitVM(id cluster.VMID, at time.Duration, seq uint64) (removed b
 		}
 		return false, nil
 	}
-	removed, err = f.cells[c].ExitVM(id, at, cs)
+	removed, err = srv.ExitVM(id, at, cs)
 	if seq > 0 {
 		f.doneDispatch()
 	}
 	return removed, err
 }
 
-// Tick advances every cell's virtual time to at and returns the furthest
-// time reached. Sequenced ticks consume one fleet sequence number and one
-// per-cell sequence number in every cell, so they order correctly against
-// the sequenced placement stream on each side of the fan-out.
+// Tick advances every live cell's virtual time to at and returns the
+// furthest time reached. Sequenced ticks consume one fleet sequence number
+// and one per-cell sequence number in every live cell, so they order
+// correctly against the sequenced placement stream on each side of the
+// fan-out. Retired cells are skipped: their clocks freeze at merge time
+// and jump to the horizon when the fleet drains.
 func (f *Fleet) Tick(at time.Duration, seq uint64) (now time.Duration, err error) {
 	if f.draining.Load() {
 		return 0, ErrDraining
 	}
-	cs := make([]uint64, len(f.cells))
 	f.mu.Lock()
 	if seq > 0 {
 		if err := f.enterSeqLocked(seq); err != nil {
 			f.mu.Unlock()
 			return 0, err
 		}
-		for c := range f.cells {
-			cs[c] = f.nextCellSeqLocked(c)
-		}
-		f.advanceLocked()
 	} else if f.closed {
 		f.mu.Unlock()
 		return 0, ErrClosed
 	}
+	cells := append([]*Server(nil), f.cells...)
+	skip := append([]bool(nil), f.topo.retired...)
+	cs := make([]uint64, len(cells))
+	if seq > 0 {
+		for c := range cells {
+			if !skip[c] {
+				cs[c] = f.nextCellSeqLocked(c)
+			}
+		}
+		f.advanceLocked()
+	}
 	f.mu.Unlock()
 
-	nows := make([]time.Duration, len(f.cells))
-	err = f.fanOut(func(c int) error {
-		n, err := f.cells[c].Tick(at, cs[c])
+	nows := make([]time.Duration, len(cells))
+	err = fanOut(len(cells), func(c int) error {
+		if skip[c] {
+			return nil
+		}
+		n, err := cells[c].Tick(at, cs[c])
 		nows[c] = n
 		return err
 	})
@@ -446,12 +450,12 @@ func (f *Fleet) Tick(at time.Duration, seq uint64) (now time.Duration, err error
 	return now, err
 }
 
-// fanOut runs fn for every cell concurrently and returns the first error
-// (by cell index).
-func (f *Fleet) fanOut(fn func(c int) error) error {
-	errs := make([]error, len(f.cells))
+// fanOut runs fn for cells 0..n-1 concurrently and returns the joined
+// errors (in cell order).
+func fanOut(n int, fn func(c int) error) error {
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for c := range f.cells {
+	for c := 0; c < n; c++ {
 		c := c
 		wg.Add(1)
 		go func() {
@@ -469,11 +473,13 @@ type FleetSnapshot struct {
 	Cells []metrics.Sample `json:"cells"`
 }
 
-// Snapshot measures every cell without advancing time.
+// Snapshot measures every cell without advancing time. Retired cells
+// answer too — their pools are frozen at merge time.
 func (f *Fleet) Snapshot() (FleetSnapshot, error) {
-	out := FleetSnapshot{Cells: make([]metrics.Sample, len(f.cells))}
-	err := f.fanOut(func(c int) error {
-		s, err := f.cells[c].Snapshot()
+	cells, _ := f.snapshotCells()
+	out := FleetSnapshot{Cells: make([]metrics.Sample, len(cells))}
+	err := fanOut(len(cells), func(c int) error {
+		s, err := cells[c].Snapshot()
 		out.Cells[c] = s
 		return err
 	})
@@ -497,42 +503,51 @@ type FleetStats struct {
 	QueueDepth int           `json:"queue_depth"`
 	// Pending counts sequenced requests parked fleet-wide: in the global
 	// sequencer and in every cell's reorder buffer.
-	Pending   int        `json:"pending_seq"`
-	Draining  bool       `json:"draining"`
+	Pending  int  `json:"pending_seq"`
+	Draining bool `json:"draining"`
+	// Retired lists cells merged away by elasticity ops: still visible in
+	// CellStats (their counters are real history) but excluded from the
+	// Hosts/VMs/NowNS totals — their capacity moved to the surviving cell.
+	Retired   []int      `json:"retired_cells,omitempty"`
 	Memo      *MemoStats `json:"memo,omitempty"`
 	CellStats []Stats    `json:"cell_stats"`
 }
 
 // Stats gathers per-cell serving counters and rolls them up.
 func (f *Fleet) Stats() (FleetStats, error) {
+	cells, retired := f.snapshotCells()
 	st := FleetStats{
 		Pool:      f.cfg.PoolName,
 		Policy:    f.policy,
 		Router:    f.RouterName(),
-		CellCount: len(f.cells),
+		CellCount: len(cells),
 		Draining:  f.draining.Load(),
-		CellStats: make([]Stats, len(f.cells)),
+		CellStats: make([]Stats, len(cells)),
 	}
-	err := f.fanOut(func(c int) error {
-		s, err := f.cells[c].Stats()
+	err := fanOut(len(cells), func(c int) error {
+		s, err := cells[c].Stats()
 		st.CellStats[c] = s
 		return err
 	})
 	if err != nil {
 		return FleetStats{}, err
 	}
-	for _, s := range st.CellStats {
-		st.Hosts += s.Hosts
-		st.VMs += s.VMs
+	for c, s := range st.CellStats {
+		if retired[c] {
+			st.Retired = append(st.Retired, c)
+		} else {
+			st.Hosts += s.Hosts
+			st.VMs += s.VMs
+			if s.NowNS > st.NowNS {
+				st.NowNS = s.NowNS
+			}
+		}
 		st.Placements += s.Placements
 		st.Exits += s.Exits
 		st.Failed += s.Failed
 		st.ModelCalls += s.ModelCalls
 		st.QueueDepth += s.QueueDepth
 		st.Pending += s.Pending
-		if s.NowNS > st.NowNS {
-			st.NowNS = s.NowNS
-		}
 	}
 	f.mu.Lock()
 	for _, n := range f.parked {
@@ -602,6 +617,8 @@ func (f *Fleet) Drain() (*cell.Rollup, error) {
 	f.flushed = true
 	f.cond.Broadcast()
 	closed := f.closed
+	cells := append([]*Server(nil), f.cells...)
+	hosts := append([]int(nil), f.topo.hosts...)
 	f.mu.Unlock()
 	if closed {
 		f.mu.Lock()
@@ -611,15 +628,17 @@ func (f *Fleet) Drain() (*cell.Rollup, error) {
 		return nil, ErrClosed
 	}
 
-	results := make([]*sim.Result, len(f.cells))
-	err := f.fanOut(func(c int) error {
-		res, err := f.cells[c].Drain()
+	results := make([]*sim.Result, len(cells))
+	err := fanOut(len(cells), func(c int) error {
+		// Retired cells drain like any other: Server.Drain is idempotent
+		// and their machines advance from merge time to the horizon here.
+		res, err := cells[c].Drain()
 		results[c] = res
 		return err
 	})
 	var roll *cell.Rollup
 	if err == nil {
-		roll, err = cell.RollUp(f.RouterName(), f.hosts, results)
+		roll, err = cell.RollUp(f.RouterName(), hosts, results)
 	}
 	f.mu.Lock()
 	f.finalRoll, f.finalErr, f.finalSet = roll, err, true
@@ -647,35 +666,7 @@ type FleetDrainResponse struct {
 
 // drainResponse assembles the wire payload from a rollup.
 func (f *Fleet) drainResponse(roll *cell.Rollup) FleetDrainResponse {
-	out := FleetDrainResponse{
-		Pool:   f.cfg.PoolName,
-		Policy: f.policy,
-		Metrics: &runner.Metrics{
-			AvgEmptyHostFrac:  roll.AvgEmptyHostFrac,
-			AvgEmptyToFree:    roll.AvgEmptyToFree,
-			AvgPackingDensity: roll.AvgPackingDensity,
-			AvgCPUUtil:        roll.AvgCPUUtil,
-			Placements:        roll.Placements,
-			Exits:             roll.Exits,
-			Failed:            roll.Failed,
-			Killed:            roll.Killed,
-			ModelCalls:        roll.ModelCalls,
-		},
-		Router:     roll.Router,
-		Hosts:      roll.Hosts,
-		UtilSpread: roll.UtilSpread,
-		Cells:      make([]DrainResponse, len(roll.Cells)),
-	}
-	for i, res := range roll.Cells {
-		out.SeriesLen += res.Series.Len()
-		out.Cells[i] = DrainResponse{
-			Pool:      res.PoolName,
-			Policy:    res.Policy,
-			Metrics:   runner.MetricsOf(res),
-			SeriesLen: res.Series.Len(),
-		}
-	}
-	return out
+	return FleetReportOf(f.cfg.PoolName, f.policy, roll)
 }
 
 // Handler returns the fleet's HTTP API — the same six endpoints a single
@@ -691,6 +682,17 @@ func (f *Fleet) drainResponse(roll *cell.Rollup) FleetDrainResponse {
 //
 // /trace takes the single-server filter parameters plus cell=N to restrict
 // the query to one cell; without it every cell answers, in cell order.
+//
+// The /admin endpoints are the fleet elasticity surface; each op is
+// sequenced through the same global sequencer as the request stream:
+//
+//	POST /admin/add-hosts      AdminAddHostsRequest   -> AdminOKResponse
+//	POST /admin/remove-host    AdminRemoveHostRequest -> AdminOKResponse
+//	POST /admin/drain-cell     AdminCellRequest       -> AdminOKResponse
+//	POST /admin/rehydrate-cell AdminCellRequest       -> AdminOKResponse
+//	POST /admin/split-cell     AdminSplitRequest      -> AdminSplitResponse
+//	POST /admin/merge-cells    AdminMergeRequest      -> AdminOKResponse
+//	POST /admin/rebalance      AdminRebalanceRequest  -> AdminRebalanceResponse
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/place", f.handlePlace)
@@ -700,16 +702,24 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/snapshot", f.handleSnapshot)
 	mux.HandleFunc("/trace", f.handleTrace)
 	mux.HandleFunc("/drain", f.handleDrain)
+	mux.HandleFunc("/admin/add-hosts", f.handleAddHosts)
+	mux.HandleFunc("/admin/remove-host", f.handleRemoveHost)
+	mux.HandleFunc("/admin/drain-cell", f.handleDrainCell)
+	mux.HandleFunc("/admin/rehydrate-cell", f.handleRehydrateCell)
+	mux.HandleFunc("/admin/split-cell", f.handleSplitCell)
+	mux.HandleFunc("/admin/merge-cells", f.handleMergeCells)
+	mux.HandleFunc("/admin/rebalance", f.handleRebalance)
 	return mux
 }
 
 // CellTracer returns cell c's decision recorder, nil when tracing is
 // disabled or c is out of range.
 func (f *Fleet) CellTracer(c int) *ptrace.Recorder {
-	if c < 0 || c >= len(f.cells) {
+	cells, _ := f.snapshotCells()
+	if c < 0 || c >= len(cells) {
 		return nil
 	}
-	return f.cells[c].Tracer()
+	return cells[c].Tracer()
 }
 
 // CellTrace is one cell's page of a fleet trace query.
@@ -738,22 +748,23 @@ func (f *Fleet) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeStatus(w, http.StatusBadRequest, err)
 		return
 	}
-	cells := make([]int, 0, len(f.cells))
+	servers, _ := f.snapshotCells()
+	cells := make([]int, 0, len(servers))
 	if v := r.URL.Query().Get("cell"); v != "" {
 		c, err := strconv.Atoi(v)
-		if err != nil || c < 0 || c >= len(f.cells) {
-			writeStatus(w, http.StatusBadRequest, fmt.Errorf("serve: bad cell %q (fleet has %d)", v, len(f.cells)))
+		if err != nil || c < 0 || c >= len(servers) {
+			writeStatus(w, http.StatusBadRequest, fmt.Errorf("serve: bad cell %q (fleet has %d)", v, len(servers)))
 			return
 		}
 		cells = append(cells, c)
 	} else {
-		for c := range f.cells {
+		for c := range servers {
 			cells = append(cells, c)
 		}
 	}
 	out := FleetTraceResponse{Cells: make([]CellTrace, 0, len(cells))}
 	for _, c := range cells {
-		out.Cells = append(out.Cells, CellTrace{Cell: c, QueryResult: f.cells[c].Tracer().Query(flt)})
+		out.Cells = append(out.Cells, CellTrace{Cell: c, QueryResult: servers[c].Tracer().Query(flt)})
 	}
 	writeJSON(w, out)
 }

@@ -103,7 +103,12 @@ type reqKind uint8
 const (
 	reqExit reqKind = iota // canonical order: exits before placements...
 	reqPlace
-	reqTick // ...then explicit time advances
+	reqTick // ...then explicit time advances...
+	// ...then admin ops (fleet elasticity), in a fixed relative order.
+	reqAddHosts
+	reqRemoveHost
+	reqMigrateOut
+	reqMigrateIn
 	reqSnapshot
 	reqStats
 	reqDrain
@@ -112,19 +117,23 @@ const (
 // request is one admission-queue entry.
 type request struct {
 	kind reqKind
-	seq  uint64        // >0: position in the strictly ordered client stream
-	at   time.Duration // virtual time of the event
-	rec  trace.Record  // reqPlace
-	id   cluster.VMID  // reqExit
-	resp chan response // buffered(1): the loop never blocks responding
+	seq  uint64         // >0: position in the strictly ordered client stream
+	at   time.Duration  // virtual time of the event
+	rec  trace.Record   // reqPlace
+	id   cluster.VMID   // reqExit, reqMigrateOut
+	n    int            // reqAddHosts
+	hid  cluster.HostID // reqRemoveHost
+	vm   *cluster.VM    // reqMigrateIn (nil: sequencing no-op)
+	resp chan response  // buffered(1): the loop never blocks responding
 }
 
 // response carries the outcome back to the waiting handler.
 type response struct {
 	err     error
-	host    cluster.HostID // reqPlace
-	placed  bool           // reqPlace
+	host    cluster.HostID // reqPlace, reqMigrateIn
+	placed  bool           // reqPlace, reqMigrateIn
 	removed bool           // reqExit
+	vm      *cluster.VM    // reqMigrateOut (nil: VM was not running)
 	now     time.Duration  // reqTick
 	sample  metrics.Sample // reqSnapshot
 	stats   Stats          // reqStats
@@ -268,7 +277,16 @@ func (s *Server) submit(r *request) response {
 }
 
 // mutating reports whether a request kind changes pool or time state.
-func mutating(k reqKind) bool { return k == reqPlace || k == reqExit || k == reqTick }
+// Admin (elasticity) ops count: they advance virtual time and are rejected
+// once the server drains, exactly like placements.
+func mutating(k reqKind) bool {
+	switch k {
+	case reqPlace, reqExit, reqTick, reqAddHosts, reqRemoveHost, reqMigrateOut, reqMigrateIn:
+		return true
+	default:
+		return false
+	}
+}
 
 // newRequest builds a request with its response channel.
 func newRequest(kind reqKind) *request {
@@ -301,6 +319,48 @@ func (s *Server) Tick(at time.Duration, seq uint64) (now time.Duration, err erro
 	r.at, r.seq = at, seq
 	resp := s.submit(r)
 	return resp.now, resp.err
+}
+
+// AddHosts grows the cell's pool by n hosts at virtual time at, sequenced
+// through the event loop like any other request (seq > 0 enrolls it in the
+// ordered stream). New hosts take IDs past the current maximum.
+func (s *Server) AddHosts(n int, at time.Duration, seq uint64) error {
+	r := newRequest(reqAddHosts)
+	r.n, r.at, r.seq = n, at, seq
+	return s.submit(r).err
+}
+
+// RemoveHost retires one empty host from the cell's pool at virtual time
+// at. Hosts still running VMs are refused.
+func (s *Server) RemoveHost(id cluster.HostID, at time.Duration, seq uint64) error {
+	r := newRequest(reqRemoveHost)
+	r.hid, r.at, r.seq = id, at, seq
+	return s.submit(r).err
+}
+
+// MigrateOut hands a running VM over to the caller: the VM exits this
+// cell's pool (counted as a migration, not an exit) and is returned for
+// placement elsewhere via MigrateIn. ok is false when the VM is not
+// running here — e.g. its original placement failed for capacity — which
+// is a sequencing no-op, not an error.
+func (s *Server) MigrateOut(id cluster.VMID, at time.Duration, seq uint64) (vm *cluster.VM, ok bool, err error) {
+	r := newRequest(reqMigrateOut)
+	r.id, r.at, r.seq = id, at, seq
+	resp := s.submit(r)
+	return resp.vm, resp.vm != nil, resp.err
+}
+
+// MigrateIn places a VM handed over by another cell's MigrateOut (counted
+// as a migration, not a placement). A nil vm is a sequencing no-op: the
+// request still occupies its slot in the ordered stream, so reservations
+// made before the outcome of the matching MigrateOut was known keep the
+// stream contiguous. placed is false when no feasible host exists — the
+// VM is lost and counted failed, as a capacity-failed placement would be.
+func (s *Server) MigrateIn(vm *cluster.VM, at time.Duration, seq uint64) (host cluster.HostID, placed bool, err error) {
+	r := newRequest(reqMigrateIn)
+	r.vm, r.at, r.seq = vm, at, seq
+	resp := s.submit(r)
+	return resp.host, resp.placed, resp.err
 }
 
 // Snapshot measures the pool at the current virtual time without advancing
@@ -507,6 +567,33 @@ func (s *Server) apply(r *request, pendingSeq int) {
 			err = ErrDraining
 		}
 		resp.now, resp.err = s.m.Now(), err
+	case reqAddHosts:
+		err := s.m.AddHosts(r.n, r.at)
+		if errors.Is(err, sim.ErrFinished) {
+			err = ErrDraining
+		}
+		resp.err = err
+	case reqRemoveHost:
+		err := s.m.RemoveHost(r.hid, r.at)
+		if errors.Is(err, sim.ErrFinished) {
+			err = ErrDraining
+		}
+		resp.err = err
+	case reqMigrateOut:
+		vm, _, err := s.m.MigrateOut(r.id, r.at)
+		if errors.Is(err, sim.ErrFinished) {
+			err = ErrDraining
+		}
+		resp.vm, resp.err = vm, err
+	case reqMigrateIn:
+		h, placed, err := s.m.MigrateIn(r.vm, r.at)
+		if errors.Is(err, sim.ErrFinished) {
+			err = ErrDraining
+		}
+		resp.placed, resp.err = placed, err
+		if h != nil {
+			resp.host = h.ID
+		}
 	case reqSnapshot:
 		resp.sample = metrics.Snapshot(s.m.Pool(), s.m.Now())
 	case reqStats:

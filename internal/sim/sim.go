@@ -187,6 +187,13 @@ type Result struct {
 	Killed     int // VMs force-exited by scenario injectors (host failures)
 	ModelCalls int64
 
+	// Elasticity counters: VMs handed to / received from another cell via
+	// MigrateOut/MigrateIn. Deliberately separate from Placements/Exits so
+	// the canonical packing metrics of a rebalanced cell stay comparable to
+	// a static one's.
+	MigratedOut int
+	MigratedIn  int
+
 	FinalPool *cluster.Pool
 }
 
@@ -416,6 +423,106 @@ func (m *Machine) Exit(id cluster.VMID, at time.Duration) (bool, error) {
 		m.cfg.Tracer.Record(ptrace.Decision{Kind: ptrace.KindExit, T: at, VM: id, Host: h.ID, Level: -1})
 	}
 	return true, nil
+}
+
+// AddHosts advances to at and grows the pool by n hosts of the trace's host
+// shape — the online form of a capacity delivery. New hosts take IDs past
+// the current maximum (see cluster.Pool.AddHosts for the density contract).
+func (m *Machine) AddHosts(n int, at time.Duration) error {
+	if m.finished {
+		return ErrFinished
+	}
+	if at < m.now {
+		at = m.now
+	}
+	if err := m.Advance(at); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("sim: add %d hosts", n)
+	}
+	m.pool.AddHosts(n, m.cfg.Trace.HostShape())
+	return nil
+}
+
+// RemoveHost advances to at and retires an empty host from the pool. Hosts
+// still running VMs refuse removal — drain them (migrate or wait for exits)
+// first.
+func (m *Machine) RemoveHost(id cluster.HostID, at time.Duration) error {
+	if m.finished {
+		return ErrFinished
+	}
+	if at < m.now {
+		at = m.now
+	}
+	if err := m.Advance(at); err != nil {
+		return err
+	}
+	return m.pool.RemoveHost(id)
+}
+
+// MigrateOut advances to at and hands a running VM out of this machine —
+// the source half of a cross-cell migration. The policy observes the
+// departure through its exit hook (the host's capacity frees exactly as on
+// a natural exit) but the VM is counted as migrated, not exited, and the
+// returned VM — creation time and ground-truth lifetime intact — is ready
+// for MigrateIn on the destination machine. ok is false for VMs not
+// currently running (never placed, already exited, or killed).
+func (m *Machine) MigrateOut(id cluster.VMID, at time.Duration) (vm *cluster.VM, ok bool, err error) {
+	if m.finished {
+		return nil, false, ErrFinished
+	}
+	if at < m.now {
+		at = m.now
+	}
+	if err := m.Advance(at); err != nil {
+		return nil, false, err
+	}
+	if m.pool.HostOf(id) == nil {
+		return nil, false, nil
+	}
+	h, vm, err := m.pool.Exit(id)
+	if err != nil {
+		return nil, false, fmt.Errorf("sim: migrate-out vm %d: %w", id, err)
+	}
+	m.cfg.Policy.OnExited(m.pool, h, vm, at)
+	m.res.MigratedOut++
+	return vm, true, nil
+}
+
+// MigrateIn advances to at and admits a VM handed over by another machine's
+// MigrateOut: the policy schedules it like a fresh arrival (and observes the
+// placement), but it is counted as migrated, not placed. A nil vm is a
+// sequencing no-op that only advances time — the caller's source machine
+// reported the VM gone. placed is false when no feasible host exists; the
+// VM is then lost (it already left its source) and counted in Failed.
+func (m *Machine) MigrateIn(vm *cluster.VM, at time.Duration) (host *cluster.Host, placed bool, err error) {
+	if m.finished {
+		return nil, false, ErrFinished
+	}
+	if at < m.now {
+		at = m.now
+	}
+	if err := m.Advance(at); err != nil {
+		return nil, false, err
+	}
+	if vm == nil {
+		return nil, false, nil
+	}
+	h, err := m.cfg.Policy.Schedule(m.pool, vm, at)
+	if err != nil {
+		if errors.Is(err, scheduler.ErrNoCapacity) {
+			m.res.Failed++
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if err := m.pool.Place(vm, h); err != nil {
+		return nil, false, fmt.Errorf("sim: migrate-in vm %d: %w", vm.ID, err)
+	}
+	m.cfg.Policy.OnPlaced(m.pool, h, vm, at)
+	m.res.MigratedIn++
+	return h, true, nil
 }
 
 // Finish advances to the measurement horizon, computes the post-warm-up

@@ -260,6 +260,23 @@ type ScenarioConfig struct {
 	Parallel int
 }
 
+// ComposeScenario applies a named scenario's trace-level events (surges,
+// flash crowds) to a trace and returns the composed copy; the input is
+// never mutated. This is the exact composition SimulateScenario and a
+// scenario-enabled fleet (FleetConfig.Scenario) perform internally —
+// exported so load drivers can replay the same composed arrival stream
+// against a live fleet and byte-compare the outcome with the offline run.
+func ComposeScenario(tr *Trace, name string, seed int64) (*Trace, error) {
+	if name == "" {
+		name = "steady"
+	}
+	spec, err := scenario.ByName(name, tr, seed)
+	if err != nil {
+		return nil, err
+	}
+	return spec.ComposeTrace(tr)
+}
+
 // SimulateScenario composes a named scenario onto the trace, shards the
 // result across a multi-cell federation, replays every cell concurrently
 // under the policy, and rolls the per-cell metrics back up. Deterministic
@@ -435,6 +452,19 @@ type FleetConfig struct {
 	// commitment ledger instead of the offline router's ground-truth
 	// lifetime heap.
 	Router RouterKind
+
+	// Scenario, when non-empty, runs the fleet under a named operational
+	// scenario (ScenarioNames): the fleet's pool geometry comes from the
+	// scenario-composed trace, every cell gets the scenario's tick
+	// injectors (drain waves, failures, crunches fire live inside the
+	// cell event loops), and the predictor is wrapped with the scenario's
+	// model events. A client replaying the composed trace (ComposeScenario)
+	// against such a fleet reproduces SimulateScenario byte-for-byte.
+	Scenario string
+
+	// ScenarioSeed drives scenario randomness; must match the seed of the
+	// offline arm being compared against.
+	ScenarioSeed int64
 }
 
 // NewFleet builds a federated placement front-end (serve.Fleet) over the
@@ -449,11 +479,32 @@ func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
 	if kind == "" {
 		kind = PolicyLAVA
 	}
+	var spec *scenario.Spec
+	if cfg.Scenario != "" {
+		s, err := scenario.ByName(cfg.Scenario, tr, cfg.ScenarioSeed)
+		if err != nil {
+			return nil, err
+		}
+		spec = &s
+		composed, err := s.ComposeTrace(tr)
+		if err != nil {
+			return nil, err
+		}
+		tr = composed
+	}
 	pred := cfg.Pred
 	var memo *serve.MemoPredictor
 	if cfg.Memo && pred != nil {
 		memo = serve.Memoize(pred, 0)
 		pred = memo
+	}
+	if spec != nil && pred != nil {
+		// Model events wrap OUTSIDE the memo: a swapped model's output
+		// depends on per-VM state (creation time) the memo key cannot
+		// capture, so memoizing it would change decisions. Memoizing the
+		// feature-pure base and wrapping the swap around it keeps both the
+		// cache hits and the scenario semantics.
+		pred = spec.WrapModel(pred)
 	}
 	refresh := cfg.CacheRefresh
 	switch {
@@ -467,6 +518,9 @@ func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
 		router = RouterFeatureHash
 	}
 	fc := serve.FleetFromTrace(tr)
+	if spec != nil {
+		fc.Injectors = spec.Injectors
+	}
 	fc.Cells = cfg.Cells
 	if fc.Cells <= 0 {
 		fc.Cells = 1

@@ -1,0 +1,82 @@
+package lava
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"lava/internal/serve"
+)
+
+// TestScenarioOnlineOfflineParity is the elasticity harness's outermost
+// contract: a scenario run ONLINE — a live fleet with the scenario's
+// injectors firing inside each cell's event loop, driven over HTTP at
+// concurrency 8 — produces a drain report byte-identical to the offline
+// scripted equivalent (SimulateScenario). Trace-level events are replayed
+// as the composed arrival stream, tick-level events fire live, model-level
+// events wrap the live predictor; nothing about going online may change a
+// single decision.
+func TestScenarioOnlineOfflineParity(t *testing.T) {
+	tr := smallTrace(t)
+	pred, err := TrainModel(tr, ModelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 7
+	for _, name := range []string{"surge", "crunch", "drain-wave", "failures", "model-swap"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			roll, err := SimulateScenario(context.Background(), tr, PolicyLAVA, pred, ScenarioConfig{
+				Scenario: name,
+				Seed:     seed,
+				Cells:    3,
+				Router:   RouterFeatureHash,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(serve.FleetReportOf(tr.PoolName, roll.Cells[0].Policy, roll))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fleet, err := NewFleet(tr, FleetConfig{
+				ServeConfig:  ServeConfig{Policy: PolicyLAVA, Pred: pred},
+				Cells:        3,
+				Router:       RouterFeatureHash,
+				Scenario:     name,
+				ScenarioSeed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fleet.Close()
+			hs := httptest.NewServer(fleet.Handler())
+			defer hs.Close()
+
+			// The client replays the composed arrival stream — the exact
+			// trace the offline arm simulated — while the fleet's injectors
+			// reproduce the tick-level events internally.
+			composed, err := ComposeScenario(tr, name, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := (&serve.Client{Base: hs.URL}).Replay(context.Background(), composed, serve.ReplayOptions{Concurrency: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.FleetFinal == nil {
+				t.Fatal("fleet replay returned no fleet drain report")
+			}
+			got, err := json.Marshal(*rep.FleetFinal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("online scenario diverged from offline:\nonline:  %s\noffline: %s", got, want)
+			}
+		})
+	}
+}
