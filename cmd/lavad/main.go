@@ -12,6 +12,15 @@
 //	lavad -trace trace.jsonl -cells 4 -router feature-hash   # federated fleet
 //	lavad -trace trace.jsonl -trace-k 3                      # decision tracing on /trace
 //	lavad -trace trace.jsonl -trace-k 8 -trace-out dec.jsonl # + persistent JSONL stream
+//	lavad -trace trace.jsonl -admit "latency=100/1m:200"     # SLO admission control
+//
+// -admit enables per-class token-bucket admission control in front of the
+// scheduler: requests carry an SLO class (latency | standard | besteffort;
+// missing defaults to standard), over-budget classes get HTTP 429 with a
+// retry-at virtual time, and /stats and /drain report per-class counts with
+// Jain's fairness index. The buckets refill on virtual-time boundaries, so
+// admission decisions replay deterministically — "track" keeps the
+// accounting with no limits.
 //
 // -trace-k K > 0 enables decision tracing: every placement decision is
 // recorded with the chosen host and its top-K scored alternatives, held in
@@ -69,6 +78,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "stream recorded decisions to this JSONL file (single-cell only; requires -trace-k)")
 		scenName  = flag.String("scenario", "", "serve under a named operational scenario (see lavasim -list-scenarios); forces fleet mode")
 		scenSeed  = flag.Int64("seed", 0, "scenario randomness seed (must match the offline arm for parity)")
+		admit     = flag.String("admit", "", `SLO admission control, e.g. "latency=100/1m:200,standard=50/1m" (refill/window[:burst] per class) or "track" for accounting without limits`)
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -116,6 +126,7 @@ func main() {
 		QueueDepth:   *queue,
 		TraceK:       *traceK,
 		TraceCap:     *traceBuf,
+		Admission:    *admit,
 	}
 	if *traceOut != "" {
 		if *traceK <= 0 {

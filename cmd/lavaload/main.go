@@ -10,6 +10,12 @@
 //	lavaload -trace trace.jsonl -qps 500 -concurrency 8
 //	lavaload -trace trace.jsonl -json BENCH_serving.json     # machine-readable
 //	lavaload -trace trace.jsonl -no-drain                    # leave lavad running
+//	lavaload -trace trace.jsonl -class-mix "latency=1,standard=8,besteffort=1"
+//
+// -class-mix labels the replayed records with SLO classes (deterministic in
+// -seed and record ID) so a daemon running with -admit can shape traffic per
+// class; the report then breaks client latency down per class and counts
+// admission rejections (HTTP 429), which are expected shaping, not errors.
 //
 // Every request carries a sequence number, so the daemon's reorder buffer
 // restores exact event order at any -concurrency: the drain report's
@@ -31,6 +37,7 @@ import (
 	"lava"
 	"lava/internal/runner"
 	"lava/internal/serve"
+	"lava/internal/slo"
 	"lava/internal/trace"
 )
 
@@ -46,6 +53,7 @@ func main() {
 		scenName  = flag.String("scenario", "", "compose this scenario's arrival stream before replaying (must match the daemon's -scenario)")
 		scenSeed  = flag.Int64("seed", 0, "scenario randomness seed (must match the daemon's -seed)")
 		finalOut  = flag.String("final-out", "", "write the fleet drain report as canonical JSON to this file ('-' for stdout)")
+		classMix  = flag.String("class-mix", "", `label records with SLO classes before replaying, e.g. "latency=1,standard=8,besteffort=1" (weights; assignment keyed by -seed and record ID)`)
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -65,6 +73,15 @@ func main() {
 		// The daemon's scenario injectors fire server-side; the client's
 		// half of the same scenario is the composed arrival stream.
 		tr, err = lava.ComposeScenario(tr, *scenName, *scenSeed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *classMix != "" {
+		// Class assignment is a pure function of (seed, record ID), so an
+		// offline arm labeling the same trace with the same seed gets the
+		// identical classed stream regardless of scenario composition order.
+		tr, err = lava.AssignClasses(tr, *classMix, *scenSeed)
 		if err != nil {
 			fatal(err)
 		}
@@ -90,14 +107,32 @@ func main() {
 	s := rep.Serving
 	fmt.Printf("replayed %d requests in %.2fs (%.0f req/s, %d workers)\n",
 		rep.Requests, rep.Elapsed.Seconds(), s.QPS, *conc)
+	if rep.Rejected > 0 {
+		fmt.Printf("rejected: %d placements turned away by admission control (HTTP 429)\n", rep.Rejected)
+	}
 	fmt.Printf("latency: avg %.3fms  p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
 		s.AvgMs, s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs)
+	for _, cls := range slo.Classes() {
+		if cs, ok := s.PerClass[cls]; ok {
+			fmt.Printf("  class %-10s p50 %.3fms  p95 %.3fms  p99 %.3fms  (%d reqs)\n",
+				cls, cs.P50Ms, cs.P95Ms, cs.P99Ms, cs.Requests)
+		}
+	}
 	if rep.Final != nil {
 		m := rep.Final.Metrics
 		fmt.Printf("final: pool %s  policy %s  placements %d  exits %d  failed %d\n",
 			rep.Final.Pool, rep.Final.Policy, m.Placements, m.Exits, m.Failed)
 		fmt.Printf("avg empty hosts: %.2f%%  packing density: %.2f%%  cpu util: %.2f%%\n",
 			100*m.AvgEmptyHostFrac, 100*m.AvgPackingDensity, 100*m.AvgCPUUtil)
+		if sl := m.SLO; sl != nil {
+			fmt.Printf("slo: fairness %.4f  fitness %.4f\n", sl.Fairness, sl.Fitness)
+			for _, cls := range slo.Classes() {
+				if c, ok := sl.Classes[cls]; ok {
+					fmt.Printf("  class %-10s admitted %d  rejected %d  placed %d  failed %d  exited %d\n",
+						cls, c.Admitted, c.Rejected, c.Placed, c.Failed, c.Exited)
+				}
+			}
+		}
 	}
 	if ff := rep.FleetFinal; ff != nil {
 		fmt.Printf("fleet: %d cells via %s  util spread %.2f%%\n",

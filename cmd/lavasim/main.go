@@ -7,12 +7,21 @@
 //	lavasim -trace trace.jsonl -policy wastemin
 //	lavasim -trace trace.jsonl -policy nilas -model oracle -defrag
 //	lavasim -trace trace.jsonl -cells 4 -scenario drain-wave   # federation
+//	lavasim -trace trace.jsonl -class-mix "latency=1,standard=8" -admit "latency=10/1h"
 //
 // With -cells > 1 or -scenario set, the run goes through the multi-cell
 // scenario engine: the named scenario (see -scenario for ids) composes onto
 // the trace, a router shards it across -cells independent cells, the cells
 // simulate concurrently (-parallel), and per-cell metrics are printed with
 // a fleet-level rollup.
+//
+// -class-mix labels records with SLO classes (deterministic in -seed and
+// record ID) and -admit enables per-class token-bucket admission control;
+// rejected arrivals are counted per class, never placed, and the report
+// gains per-class counts, Jain's fairness index and the multi-objective
+// fitness score. Federated runs with -admit go through the fleet's offline
+// script runner, so their -final-out diffs byte-for-byte against a
+// `lavad -cells N -admit ...` + `lavaload -class-mix ...` online capture.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"lava/internal/scheduler"
 	"lava/internal/serve"
 	"lava/internal/sim"
+	"lava/internal/slo"
 	"lava/internal/stranding"
 	"lava/internal/trace"
 )
@@ -51,6 +61,8 @@ func main() {
 		seed      = flag.Int64("seed", 42, "scenario randomness seed")
 		parallel  = flag.Int("parallel", 0, "cell simulation workers: 1 = sequential, 0 = GOMAXPROCS")
 		finalOut  = flag.String("final-out", "", "federated runs: write the fleet report as canonical JSON to this file ('-' for stdout) for diffing against lavaload -final-out")
+		classMix  = flag.String("class-mix", "", `label records with SLO classes, e.g. "latency=1,standard=8,besteffort=1" (weights; assignment keyed by -seed and record ID)`)
+		admit     = flag.String("admit", "", `SLO admission control, e.g. "latency=100/1m:200,standard=50/1m" or "track" — must match the daemon's -admit when diffing against an online run`)
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -79,11 +91,23 @@ func main() {
 		if *doDefrag || *doStrand {
 			fatal(fmt.Errorf("-defrag/-stranding are single-cell options; drop them for federated runs"))
 		}
-		runFederated(tr, *policy, pred, *scen, *router, *cells, *seed, *parallel, *refresh, *finalOut)
+		if *admit != "" {
+			// Admission gates live in the serving stack, not the scenario
+			// engine: replay the same event stream through the fleet's
+			// offline script runner, front-door gate included.
+			runFederatedAdmitted(tr, *policy, pred, *scen, *router, *cells, *seed, *refresh, *admit, *classMix, *finalOut)
+			return
+		}
+		runFederated(tr, *policy, pred, *scen, *router, *cells, *seed, *parallel, *refresh, *classMix, *finalOut)
 		return
 	}
 	if *finalOut != "" {
 		fatal(fmt.Errorf("-final-out is a federated option; add -cells or -scenario"))
+	}
+	if *classMix != "" {
+		if tr, err = lava.AssignClasses(tr, *classMix, *seed); err != nil {
+			fatal(err)
+		}
 	}
 
 	pol, err := buildPolicy(*policy, pred, *refresh)
@@ -92,6 +116,13 @@ func main() {
 	}
 
 	cfg := sim.Config{Trace: tr, Policy: pol}
+	if *admit != "" {
+		sc, err := slo.ParseConfig(*admit)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SLO = sc
+	}
 	var eng *defrag.Engine
 	if *doDefrag {
 		eng = defrag.New(defrag.Config{Strategy: defrag.OrderLARS, Policy: pol, Pred: pred})
@@ -122,16 +153,33 @@ func main() {
 		fmt.Printf("stranding: cpu %5.2f%%  memory %5.2f%%\n",
 			100*probe.AvgStrandedCPU(tr.WarmUp), 100*probe.AvgStrandedMem(tr.WarmUp))
 	}
+	if sl := res.SLO; sl != nil {
+		fmt.Printf("slo: fairness %.4f  fitness %.4f\n", sl.Fairness, sl.Fitness)
+		for _, cls := range slo.Classes() {
+			if c, ok := sl.Classes[cls]; ok {
+				fmt.Printf("  class %-10s admitted %d  rejected %d  placed %d  failed %d  exited %d\n",
+					cls, c.Admitted, c.Rejected, c.Placed, c.Failed, c.Exited)
+			}
+		}
+	}
 }
 
 // runFederated drives the trace through the multi-cell scenario engine and
 // prints per-cell rows plus the fleet rollup.
-func runFederated(tr *trace.Trace, policy string, pred model.Predictor, scen, router string, cells int, seed int64, parallel int, refresh time.Duration, finalOut string) {
+func runFederated(tr *trace.Trace, policy string, pred model.Predictor, scen, router string, cells int, seed int64, parallel int, refresh time.Duration, classMix, finalOut string) {
 	// The -cache flag uses 0 for "disabled"; the facade's zero value means
 	// "default", so map explicitly.
 	cacheRefresh := refresh
 	if cacheRefresh == 0 {
 		cacheRefresh = -1
+	}
+	if classMix != "" {
+		// Without -admit the classes are inert (they never influence
+		// placement), but honoring the flag keeps the arms symmetric.
+		var err error
+		if tr, err = lava.AssignClasses(tr, classMix, seed); err != nil {
+			fatal(err)
+		}
 	}
 	roll, err := lava.SimulateScenario(context.Background(), tr, lava.PolicyKind(policy), pred, lava.ScenarioConfig{
 		Scenario:     scen,
@@ -163,6 +211,63 @@ func runFederated(tr *trace.Trace, policy string, pred model.Predictor, scen, ro
 		// handler applies, so the emitted bytes diff cleanly against a
 		// lavaload -final-out capture of the online run.
 		data, err := json.Marshal(serve.FleetReportOf(tr.PoolName, roll.Cells[0].Policy, roll))
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if finalOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(finalOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runFederatedAdmitted replays the trace through the fleet's offline script
+// runner — the same routing ledger, per-cell machines and front-door
+// admission gate a live `lavad -cells N -admit ...` uses, just sequential —
+// and prints the fleet report. With -final-out the emitted JSON diffs
+// byte-for-byte against a lavaload capture of the online run.
+func runFederatedAdmitted(tr *trace.Trace, policy string, pred model.Predictor, scen, router string, cells int, seed int64, refresh time.Duration, admit, classMix, finalOut string) {
+	cacheRefresh := refresh
+	if cacheRefresh == 0 {
+		cacheRefresh = -1
+	}
+	ff, err := lava.ReplayFleetOffline(tr, lava.FleetConfig{
+		ServeConfig: lava.ServeConfig{
+			Policy:       lava.PolicyKind(policy),
+			Pred:         pred,
+			CacheRefresh: cacheRefresh,
+			Admission:    admit,
+		},
+		Cells:        cells,
+		Router:       lava.RouterKind(router),
+		Scenario:     scen,
+		ScenarioSeed: seed,
+		ClassMix:     classMix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	name := scen
+	if name == "" {
+		name = "steady"
+	}
+	m := ff.Metrics
+	fmt.Printf("scenario: %s  policy: %s  cells: %d  router: %s  admit: %s\n", name, ff.Policy, cells, ff.Router, admit)
+	fmt.Printf("rollup: empty hosts %.2f%%  cpu util %.2f%%  util spread %.2f pp  placed %d  failed %d\n",
+		100*m.AvgEmptyHostFrac, 100*m.AvgCPUUtil, 100*ff.UtilSpread, m.Placements, m.Failed)
+	if sl := m.SLO; sl != nil {
+		fmt.Printf("slo: fairness %.4f  fitness %.4f\n", sl.Fairness, sl.Fitness)
+		for _, cls := range slo.Classes() {
+			if c, ok := sl.Classes[cls]; ok {
+				fmt.Printf("  class %-10s admitted %d  rejected %d  placed %d  failed %d  exited %d\n",
+					cls, c.Admitted, c.Rejected, c.Placed, c.Failed, c.Exited)
+			}
+		}
+	}
+	if finalOut != "" {
+		data, err := json.Marshal(ff)
 		if err != nil {
 			fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lava/internal/sim"
+	"lava/internal/slo"
 )
 
 // Rollup aggregates per-cell simulation results into fleet-level metrics.
@@ -32,6 +33,12 @@ type Rollup struct {
 	// UtilSpread is max-min of per-cell average CPU utilization: the
 	// router's load-balance quality (0 = perfectly even).
 	UtilSpread float64
+
+	// SLO merges the cells' per-class summaries: counts sum, and fairness/
+	// fitness are recomputed from the summed counts and the fleet-level
+	// packing aggregates — so the rollup is additive, not an average of
+	// per-cell indices. Nil when no cell ran with the SLO layer on.
+	SLO *slo.Summary
 }
 
 // RollUp combines per-cell results. hosts and results must be parallel
@@ -78,5 +85,12 @@ func RollUp(router string, hosts []int, results []*sim.Result) (*Rollup, error) 
 	r.AvgPackingDensity /= totalHosts
 	r.AvgCPUUtil /= totalHosts
 	r.UtilSpread = maxU - minU
+	var classes map[string]*slo.Counts
+	for _, res := range results {
+		if res.SLO != nil {
+			classes = slo.MergeCounts(classes, res.SLO.Classes)
+		}
+	}
+	r.SLO = slo.Summarize(classes, r.AvgPackingDensity, r.AvgEmptyToFree, true)
 	return r, nil
 }

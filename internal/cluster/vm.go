@@ -31,6 +31,11 @@ type VM struct {
 	// it in favour of repredictions.
 	InitialPrediction time.Duration
 
+	// Class is the canonical SLO class the VM was admitted under (empty when
+	// the SLO layer is off). It rides the VM through migrations so exits are
+	// attributed to the right class wherever they land.
+	Class string
+
 	// Host is the current host, or nil before placement / after exit.
 	Host *Host
 

@@ -32,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"table1", "table2", "table3", "table4", "theorem1", "scenarios",
-		"scale",
+		"scale", "slo",
 	}
 	have := map[string]bool{}
 	for _, n := range Names() {
@@ -367,6 +367,60 @@ func TestScenariosPipeline(t *testing.T) {
 	if s, b := byArm["surge/base"], byArm["steady/base"]; s != nil && b != nil {
 		if s.Rollup.Placements+s.Rollup.Failed <= b.Rollup.Placements+b.Rollup.Failed {
 			t.Error("surge scenario did not increase demand")
+		}
+	}
+}
+
+func TestSLOPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rep, out := runAndRender(t, "slo", tiny())
+	r := rep.(*SLOReport)
+	if len(r.Rows) != 4 {
+		t.Fatalf("slo matrix has %d rows, want 2 arms x 2 policies:\n%s", len(r.Rows), out)
+	}
+	byArm := map[string]*SLORow{}
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		byArm[row.Arm+"/"+row.Policy] = row
+		s := row.Result.SLO
+		if s == nil {
+			t.Fatalf("%s/%s carries no SLO summary", row.Arm, row.Policy)
+		}
+		if s.Fitness <= 0 || s.Fitness > 1 {
+			t.Errorf("%s/%s fitness %v out of (0, 1]", row.Arm, row.Policy, s.Fitness)
+		}
+	}
+	// The open arm admits everything: fairness pinned at 1. The tight arm
+	// throttles best-effort, so fairness — and with it fitness, packing
+	// held roughly equal — must drop.
+	for _, pol := range []string{"wastemin", "lava"} {
+		open, tight := byArm["open/"+pol], byArm["tight/"+pol]
+		if open == nil || tight == nil {
+			t.Fatalf("missing arm rows for policy %s:\n%s", pol, out)
+		}
+		if open.Result.SLO.Fairness != 1 {
+			t.Errorf("open/%s fairness = %v, want 1 (no limits)", pol, open.Result.SLO.Fairness)
+		}
+		be := tight.Result.SLO.Classes["besteffort"]
+		if be == nil || be.Rejected == 0 {
+			t.Errorf("tight/%s rejected no best-effort traffic", pol)
+		}
+		if tight.Result.SLO.Fairness >= open.Result.SLO.Fairness {
+			t.Errorf("tight/%s fairness %v not below open arm's %v", pol,
+				tight.Result.SLO.Fairness, open.Result.SLO.Fairness)
+		}
+	}
+	// Admission precedes placement, so the admit/reject stream is policy-
+	// independent within an arm — a structural invariant worth pinning.
+	for _, arm := range []string{"open", "tight"} {
+		w, l := byArm[arm+"/wastemin"].Result.SLO, byArm[arm+"/lava"].Result.SLO
+		for cls, wc := range w.Classes {
+			lc := l.Classes[cls]
+			if lc == nil || wc.Admitted != lc.Admitted || wc.Rejected != lc.Rejected {
+				t.Errorf("%s: class %s admission differs across policies: %+v vs %+v", arm, cls, wc, lc)
+			}
 		}
 	}
 }

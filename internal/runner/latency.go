@@ -38,6 +38,11 @@ type LatencyHist struct {
 	sum     time.Duration
 	max     time.Duration
 	buckets [latBuckets]int64
+
+	// perClass holds lazily-created per-SLO-class sub-histograms fed by
+	// RecordClass; nil until the first classed observation, so unclassed
+	// workloads pay nothing and report nothing extra.
+	perClass map[string]*LatencyHist
 }
 
 // Record adds one observation.
@@ -57,6 +62,27 @@ func (h *LatencyHist) Record(d time.Duration) {
 	}
 	h.buckets[i]++
 	h.mu.Unlock()
+}
+
+// RecordClass adds one observation attributed to an SLO class: the overall
+// histogram always sees it, and a non-empty class also feeds that class's
+// sub-histogram so Stats can report per-class percentiles.
+func (h *LatencyHist) RecordClass(class string, d time.Duration) {
+	h.Record(d)
+	if class == "" {
+		return
+	}
+	h.mu.Lock()
+	sub := h.perClass[class]
+	if sub == nil {
+		if h.perClass == nil {
+			h.perClass = make(map[string]*LatencyHist)
+		}
+		sub = &LatencyHist{}
+		h.perClass[class] = sub
+	}
+	h.mu.Unlock()
+	sub.Record(d)
 }
 
 // Count returns the number of recorded observations.
@@ -119,6 +145,12 @@ func (h *LatencyHist) Stats(elapsed time.Duration) *ServingStats {
 	if elapsed > 0 {
 		s.QPS = float64(h.n) / elapsed.Seconds()
 	}
+	if len(h.perClass) > 0 {
+		s.PerClass = make(map[string]*ServingStats, len(h.perClass))
+		for class, sub := range h.perClass {
+			s.PerClass[class] = sub.Stats(elapsed)
+		}
+	}
 	return s
 }
 
@@ -137,4 +169,9 @@ type ServingStats struct {
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
 	MaxMs    float64 `json:"max_ms"`
+
+	// PerClass breaks the same percentiles down by SLO class when the
+	// workload was classed (omitted otherwise — pre-class documents decode
+	// and re-encode unchanged).
+	PerClass map[string]*ServingStats `json:"per_class,omitempty"`
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lava/internal/sim"
+	"lava/internal/slo"
 )
 
 // Job is one simulation in a batch. Run must be self-contained: it may
@@ -54,6 +55,11 @@ type Metrics struct {
 	MigratedOut       int     `json:"migrated_out,omitempty"`
 	MigratedIn        int     `json:"migrated_in,omitempty"`
 	ModelCalls        int64   `json:"model_calls,omitempty"`
+
+	// SLO is the per-class admission summary (counts, Jain fairness,
+	// fitness); omitted for runs without the SLO layer so pre-class BENCH
+	// documents keep their exact bytes.
+	SLO *slo.Summary `json:"slo,omitempty"`
 }
 
 // MetricsOf extracts the serializable aggregates from a result. It is the
@@ -73,6 +79,7 @@ func MetricsOf(r *sim.Result) *Metrics {
 		MigratedOut:       r.MigratedOut,
 		MigratedIn:        r.MigratedIn,
 		ModelCalls:        r.ModelCalls,
+		SLO:               r.SLO,
 	}
 }
 

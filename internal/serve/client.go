@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lava/internal/runner"
+	"lava/internal/slo"
 	"lava/internal/trace"
 )
 
@@ -61,6 +63,12 @@ func (c *Client) do(req *http.Request, path string, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
+			if resp.StatusCode == http.StatusTooManyRequests && eb.Class != "" {
+				// Surface admission rejections as the typed error so callers
+				// can branch with slo.IsReject and honor RetryAt.
+				return fmt.Errorf("serve client: %s: %w", path,
+					&slo.RejectError{Class: eb.Class, RetryAt: eb.RetryAtNS})
+			}
 			return fmt.Errorf("serve client: %s: %s (HTTP %d)", path, eb.Error, resp.StatusCode)
 		}
 		return fmt.Errorf("serve client: %s: HTTP %d", path, resp.StatusCode)
@@ -138,6 +146,11 @@ type ReplayOptions struct {
 // ReplayReport is the client-side outcome of a replay.
 type ReplayReport struct {
 	Requests int
+	// Rejected counts placements the server's admission control turned away
+	// with HTTP 429. Rejections are expected traffic shaping, not errors:
+	// the replay keeps going and the server's drain report accounts for them
+	// per class.
+	Rejected int64
 	Elapsed  time.Duration
 	// Hist holds client-observed round-trip latencies; Serving is its
 	// summary with achieved throughput.
@@ -183,6 +196,7 @@ func (c *Client) Replay(ctx context.Context, tr *trace.Trace, opt ReplayOptions)
 
 	var (
 		hist     runner.LatencyHist
+		rejected atomic.Int64
 		start    = time.Now()
 		feed     = make(chan int)
 		wg       sync.WaitGroup
@@ -232,10 +246,22 @@ func (c *Client) Replay(ctx context.Context, tr *trace.Trace, opt ReplayOptions)
 					_, err = c.Exit(ctx, ExitRequest{Seq: seq, At: ev.Time, ID: ev.Rec.ID})
 				}
 				if err != nil {
+					if slo.IsReject(err) {
+						// Traffic shaping, not failure: the request consumed
+						// its sequence turn server-side, so the replay stays
+						// in lockstep — count it and move on.
+						rejected.Add(1)
+						continue
+					}
 					fail(err)
 					return
 				}
-				hist.Record(time.Since(reqStart))
+				d := time.Since(reqStart)
+				if cls, cerr := slo.ParseClass(ev.Rec.Class); cerr == nil && ev.Rec.Class != "" && ev.Kind == trace.EventCreate {
+					hist.RecordClass(cls, d)
+				} else {
+					hist.Record(d)
+				}
 			}
 		}()
 	}
@@ -258,6 +284,7 @@ feed:
 
 	rep := &ReplayReport{
 		Requests: len(evs),
+		Rejected: rejected.Load(),
 		Elapsed:  time.Since(start),
 		Hist:     &hist,
 	}

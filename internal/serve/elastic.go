@@ -12,6 +12,7 @@ import (
 	"lava/internal/cluster"
 	"lava/internal/runner"
 	"lava/internal/sim"
+	"lava/internal/slo"
 	"lava/internal/trace"
 )
 
@@ -43,6 +44,13 @@ type topology struct {
 	committed []int64 // per-cell committed CPU-milli (the LU ledger)
 	vmCell    map[cluster.VMID]int
 	vmCPU     map[cluster.VMID]int64
+
+	// gate is the front-door SLO admission controller (nil: admission off).
+	// It lives on the topology because it is part of the same shared-ledger
+	// contract: the online Fleet consults it under its mutex at each global
+	// sequencing turn, the offline script runner in plain program order, so
+	// both arms see the identical admit/reject stream.
+	gate *slo.Gate
 }
 
 // newTopology validates the router kind and builds the ledger over the
@@ -95,7 +103,22 @@ func (t *topology) liveCell(c int) error {
 //     cells and shift only when the cell count itself changes;
 //   - least-utilized takes the lowest committed CPU per host, ties to the
 //     lowest index.
-func (t *topology) routeCreate(rec *trace.Record) (int, error) {
+//
+// With a front-door gate, admission runs first, against the record's class
+// bucket at the request's virtual time: a rejection (*slo.RejectError)
+// leaves every piece of routing state — cursor, ledger, commitment — and
+// the gate's bucket untouched except for the class's token and counters, so
+// rejected requests are invisible to placement.
+func (t *topology) routeCreate(rec *trace.Record, at time.Duration) (int, error) {
+	if t.gate != nil {
+		cls, err := slo.ParseClass(rec.Class)
+		if err != nil {
+			return 0, err
+		}
+		if ok, retry := t.gate.Admit(cls, at); !ok {
+			return 0, &slo.RejectError{Class: cls, RetryAt: retry}
+		}
+	}
 	n := len(t.hosts)
 	c := -1
 	switch t.kind {
@@ -353,6 +376,29 @@ type Op struct {
 	Host cluster.HostID // OpRemoveHost
 }
 
+// OpsFromTrace converts a trace's canonical event stream into a script:
+// every CREATE becomes an OpPlace and every EXIT an OpExit, in event order,
+// with events past the trace's measurement end dropped. The mapping matches
+// Client.Replay exactly — replay sequence number i+1 corresponds to ops[i] —
+// so RunScriptOffline over these ops is the offline reference for an online
+// replay of the same trace.
+func OpsFromTrace(tr *trace.Trace) []Op {
+	end := tr.End()
+	var ops []Op
+	for _, ev := range tr.Events() {
+		if ev.Time > end {
+			break
+		}
+		switch ev.Kind {
+		case trace.EventCreate:
+			ops = append(ops, Op{Kind: OpPlace, At: ev.Time, Rec: ev.Rec})
+		case trace.EventExit:
+			ops = append(ops, Op{Kind: OpExit, At: ev.Time, VM: ev.Rec.ID})
+		}
+	}
+	return ops
+}
+
 // newCellMachine builds the bare simulation machine for one cell, exactly
 // as serve.New does for the online server — same header trace, same policy
 // factory, same injectors — so a scripted offline run and a served online
@@ -385,6 +431,7 @@ func newCellMachine(cfg FleetConfig, idx, hosts int) (*sim.Machine, error) {
 		SampleEvery: cfg.SampleEvery,
 		TickEvery:   cfg.TickEvery,
 		Injectors:   inj,
+		SLO:         cellSLO(cfg),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: fleet cell %d: %w", idx, err)
@@ -412,10 +459,12 @@ func RunScriptOffline(cfg FleetConfig, ops []Op) (*cell.Rollup, error) {
 		cfg.PoolName = "pool"
 	}
 	hosts := cell.SplitHosts(cfg.Hosts, cfg.Cells)
+	cfg.SLO = cfg.SLO.Normalize()
 	topo, err := newTopology(cfg.Router, hosts)
 	if err != nil {
 		return nil, err
 	}
+	topo.gate = slo.NewGate(cfg.SLO)
 	machines := make([]*sim.Machine, cfg.Cells)
 	for i := range machines {
 		if machines[i], err = newCellMachine(cfg, i, hosts[i]); err != nil {
@@ -428,8 +477,11 @@ func RunScriptOffline(cfg FleetConfig, ops []Op) (*cell.Rollup, error) {
 	for i, op := range ops {
 		switch op.Kind {
 		case OpPlace:
-			c, err := topo.routeCreate(&op.Rec)
+			c, err := topo.routeCreate(&op.Rec, op.At)
 			if err != nil {
+				if slo.IsReject(err) {
+					continue // counted at the gate; invisible to routing
+				}
 				return nil, fail(i, op, err)
 			}
 			if _, err := machines[c].Create(op.Rec, op.At); err != nil {
@@ -533,7 +585,12 @@ func RunScriptOffline(cfg FleetConfig, ops []Op) (*cell.Rollup, error) {
 			return nil, fmt.Errorf("serve: script finish cell %d: %w", i, err)
 		}
 	}
-	return cell.RollUp(topo.kind, topo.hosts, results)
+	roll, err := cell.RollUp(topo.kind, topo.hosts, results)
+	if err != nil {
+		return nil, err
+	}
+	attachFrontDoorLocked(topo, roll)
+	return roll, nil
 }
 
 // FleetReportOf projects a rollup into the canonical fleet report — the
@@ -556,6 +613,7 @@ func FleetReportOf(pool, policy string, roll *cell.Rollup) FleetDrainResponse {
 			MigratedOut:       roll.MigratedOut,
 			MigratedIn:        roll.MigratedIn,
 			ModelCalls:        roll.ModelCalls,
+			SLO:               roll.SLO,
 		},
 		Router:     roll.Router,
 		Hosts:      roll.Hosts,

@@ -595,13 +595,13 @@ func TestTopologyRoutingElasticity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if c, err := topo.routeCreate(rec(0)); err != nil || c != 0 {
+		if c, err := topo.routeCreate(rec(0), 0); err != nil || c != 0 {
 			t.Fatalf("route = (%d, %v), want (0, nil)", c, err)
 		}
 		if err := topo.setRoutable(0, false); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := topo.routeCreate(rec(1)); !errors.Is(err, ErrNoRoutableCell) {
+		if _, err := topo.routeCreate(rec(1), 0); !errors.Is(err, ErrNoRoutableCell) {
 			t.Fatalf("route with every cell drained: %v, want ErrNoRoutableCell", err)
 		}
 	})
@@ -613,7 +613,7 @@ func TestTopologyRoutingElasticity(t *testing.T) {
 		}
 		want := []int{0, 2, 0, 2}
 		for i, w := range want {
-			if c, err := topo.routeCreate(rec(i)); err != nil || c != w {
+			if c, err := topo.routeCreate(rec(i), 0); err != nil || c != w {
 				t.Fatalf("arrival %d routed to (%d, %v), want %d", i, c, err, w)
 			}
 		}
@@ -622,7 +622,7 @@ func TestTopologyRoutingElasticity(t *testing.T) {
 	t.Run("feature-hash-probes-forward", func(t *testing.T) {
 		topo, _ := newTopology("feature-hash", []int{2, 2, 2, 2})
 		r := rec(3)
-		home, err := topo.routeCreate(r)
+		home, err := topo.routeCreate(r, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -631,14 +631,14 @@ func TestTopologyRoutingElasticity(t *testing.T) {
 		if err := topo.setRoutable(other, false); err != nil {
 			t.Fatal(err)
 		}
-		if c, _ := topo.routeCreate(r); c != home {
+		if c, _ := topo.routeCreate(r, 0); c != home {
 			t.Fatalf("draining cell %d moved record from %d to %d", other, home, c)
 		}
 		// Draining the home cell probes forward to the next routable one.
 		if err := topo.setRoutable(home, false); err != nil {
 			t.Fatal(err)
 		}
-		c, err := topo.routeCreate(r)
+		c, err := topo.routeCreate(r, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -651,7 +651,7 @@ func TestTopologyRoutingElasticity(t *testing.T) {
 		if err := topo.setRoutable(home, true); err != nil {
 			t.Fatal(err)
 		}
-		if c, _ := topo.routeCreate(r); c != home {
+		if c, _ := topo.routeCreate(r, 0); c != home {
 			t.Fatalf("rehydrated home %d but record routes to %d", home, c)
 		}
 	})
@@ -659,18 +659,18 @@ func TestTopologyRoutingElasticity(t *testing.T) {
 	t.Run("least-utilized-excludes-unroutable", func(t *testing.T) {
 		topo, _ := newTopology("least-utilized", []int{2, 2, 2})
 		// Tie on empty cells goes to the lowest index.
-		if c, _ := topo.routeCreate(rec(0)); c != 0 {
+		if c, _ := topo.routeCreate(rec(0), 0); c != 0 {
 			t.Fatalf("first arrival routed to %d, want 0", c)
 		}
 		// Next lands on the emptiest remaining cell.
-		if c, _ := topo.routeCreate(rec(1)); c != 1 {
+		if c, _ := topo.routeCreate(rec(1), 0); c != 1 {
 			t.Fatalf("second arrival routed to %d, want 1", c)
 		}
 		if err := topo.setRoutable(2, false); err != nil {
 			t.Fatal(err)
 		}
 		// Cell 2 is emptiest but drained: the pick must avoid it.
-		if c, _ := topo.routeCreate(rec(2)); c == 2 {
+		if c, _ := topo.routeCreate(rec(2), 0); c == 2 {
 			t.Fatal("least-utilized routed to a drained cell")
 		}
 	})
@@ -678,7 +678,7 @@ func TestTopologyRoutingElasticity(t *testing.T) {
 	t.Run("merge-repoints-exits", func(t *testing.T) {
 		topo, _ := newTopology("round-robin", []int{2, 2})
 		r := rec(0)
-		c, _ := topo.routeCreate(r) // cell 0
+		c, _ := topo.routeCreate(r, 0) // cell 0
 		if c != 0 {
 			t.Fatalf("routed to %d, want 0", c)
 		}
@@ -735,20 +735,20 @@ func TestFeatureHashStability(t *testing.T) {
 		}
 		// Repeated evaluation with interleaved unrelated routing is stable.
 		topo, _ := newTopology("feature-hash", make10(n))
-		first, err := topo.routeCreate(&a)
+		first, err := topo.routeCreate(&a, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 5; i++ {
 			r := scriptRecord(i + 1)
 			r.ID = cluster.VMID(1000 + i)
-			if _, err := topo.routeCreate(&r); err != nil {
+			if _, err := topo.routeCreate(&r, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
 		c := scriptRecord(22) // same tuple again
 		c.ID = 2000
-		if got, _ := topo.routeCreate(&c); got != first {
+		if got, _ := topo.routeCreate(&c, 0); got != first {
 			t.Fatalf("n=%d: routing history moved the assignment %d -> %d", n, first, got)
 		}
 		if first != ca {
@@ -761,7 +761,7 @@ func TestFeatureHashStability(t *testing.T) {
 // assertions.
 func cellFeatureHash(r *trace.Record, n int) int {
 	topo, _ := newTopology("feature-hash", make10(n))
-	c, _ := topo.routeCreate(r)
+	c, _ := topo.routeCreate(r, 0)
 	return c
 }
 

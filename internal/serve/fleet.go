@@ -17,6 +17,7 @@ import (
 	"lava/internal/runner"
 	"lava/internal/scheduler"
 	"lava/internal/sim"
+	"lava/internal/slo"
 	"lava/internal/trace"
 )
 
@@ -78,6 +79,17 @@ type FleetConfig struct {
 	// /trace?cell=N or rolled up by /trace.
 	TraceK   int
 	TraceCap int
+
+	// SLO enables the fleet's front-door admission gate: every placement is
+	// charged against its class's token bucket under the routing lock, at
+	// its global sequencing turn, before any routing state moves — so the
+	// admit/reject stream is a pure function of the sequenced request order
+	// and the offline script runner reproduces it exactly. Rejections
+	// consume their global routing turn (later sequence numbers never park
+	// behind them) but no cell sequence slot. Cells run with tracking-only
+	// SLO configs behind the gate, so per-class lifecycle counts roll up
+	// without double admission control.
+	SLO *slo.Config
 }
 
 // FleetFromTrace derives the federation geometry from a trace header, with
@@ -143,10 +155,12 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cfg.PoolName = "pool"
 	}
 	hosts := cell.SplitHosts(cfg.Hosts, cfg.Cells)
+	cfg.SLO = cfg.SLO.Normalize()
 	topo, err := newTopology(cfg.Router, hosts)
 	if err != nil {
 		return nil, err
 	}
+	topo.gate = slo.NewGate(cfg.SLO)
 	f := &Fleet{
 		cfg:     cfg,
 		topo:    topo,
@@ -204,6 +218,7 @@ func newCellServer(cfg FleetConfig, idx, hosts int) (*Server, error) {
 		Memo:        cfg.Memo,
 		TraceK:      cfg.TraceK,
 		TraceCap:    cfg.TraceCap,
+		SLO:         cellSLO(cfg),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: fleet cell %d: %w", idx, err)
@@ -322,7 +337,7 @@ func (f *Fleet) Place(rec trace.Record, at time.Duration, seq uint64) (host clus
 		f.mu.Unlock()
 		return 0, false, ErrClosed
 	}
-	c, rerr := f.topo.routeCreate(&rec)
+	c, rerr := f.topo.routeCreate(&rec, at)
 	var srv *Server
 	var cs uint64
 	if rerr == nil {
@@ -508,9 +523,12 @@ type FleetStats struct {
 	// Retired lists cells merged away by elasticity ops: still visible in
 	// CellStats (their counters are real history) but excluded from the
 	// Hosts/VMs/NowNS totals — their capacity moved to the surviving cell.
-	Retired   []int      `json:"retired_cells,omitempty"`
-	Memo      *MemoStats `json:"memo,omitempty"`
-	CellStats []Stats    `json:"cell_stats"`
+	Retired []int      `json:"retired_cells,omitempty"`
+	Memo    *MemoStats `json:"memo,omitempty"`
+	// SLO merges the front-door gate's admission counters with the cells'
+	// per-class lifecycle counts (omitted when the SLO layer is off).
+	SLO       *slo.Summary `json:"slo,omitempty"`
+	CellStats []Stats      `json:"cell_stats"`
 }
 
 // Stats gathers per-cell serving counters and rolls them up.
@@ -549,11 +567,22 @@ func (f *Fleet) Stats() (FleetStats, error) {
 		st.QueueDepth += s.QueueDepth
 		st.Pending += s.Pending
 	}
+	var gateCounts map[string]*slo.Counts
 	f.mu.Lock()
 	for _, n := range f.parked {
 		st.Pending += n
 	}
+	if f.topo.gate != nil {
+		gateCounts = f.topo.gate.Counts()
+	}
 	f.mu.Unlock()
+	if gateCounts != nil {
+		subs := make([]*slo.Summary, 0, len(st.CellStats))
+		for _, cs := range st.CellStats {
+			subs = append(subs, cs.SLO)
+		}
+		st.SLO = slo.MergeFrontDoor(gateCounts, subs, 0, 0, false)
+	}
 	if f.cfg.Memo != nil {
 		// The memo table is fleet-wide; the per-cell stats each carry the
 		// same shared counters, so report it once at the top level only.
@@ -641,6 +670,13 @@ func (f *Fleet) Drain() (*cell.Rollup, error) {
 		roll, err = cell.RollUp(f.RouterName(), hosts, results)
 	}
 	f.mu.Lock()
+	if err == nil {
+		// Fold the front-door gate's admission counters into the rollup —
+		// the same attachment RunScriptOffline applies, so the drain report
+		// stays byte-identical between the arms. The sequencer is flushed
+		// and no dispatch is in flight: the counters are final.
+		attachFrontDoorLocked(f.topo, roll)
+	}
 	f.finalRoll, f.finalErr, f.finalSet = roll, err, true
 	f.drainBusy = false
 	f.cond.Broadcast()

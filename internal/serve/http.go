@@ -11,6 +11,7 @@ import (
 	"lava/internal/cluster"
 	"lava/internal/ptrace"
 	"lava/internal/runner"
+	"lava/internal/slo"
 	"lava/internal/trace"
 )
 
@@ -67,9 +68,14 @@ type DrainResponse struct {
 	SeriesLen int             `json:"series_len"`
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Admission rejections (HTTP 429)
+// additionally carry the request's SLO class and the virtual time at which
+// the class's next token lands, so a client can resubmit at RetryAtNS
+// instead of blind backoff.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string        `json:"error"`
+	Class     string        `json:"class,omitempty"`
+	RetryAtNS time.Duration `json:"retry_at_ns,omitempty"`
 }
 
 // Handler returns the HTTP API:
@@ -160,6 +166,10 @@ func traceFilter(r *http.Request) (ptrace.Filter, error) {
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	var req PlaceRequest
 	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	if _, err := slo.ParseClass(req.Record.Class); err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
 		return
 	}
 	host, placed, err := s.Place(req.Record, req.At, req.Seq)
@@ -261,7 +271,16 @@ func methodErr(w http.ResponseWriter) {
 
 // writeErr maps server errors onto HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
+	var rej *slo.RejectError
 	switch {
+	case errors.As(err, &rej):
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(errorBody{
+			Error:     err.Error(),
+			Class:     rej.Class,
+			RetryAtNS: rej.RetryAt,
+		})
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
 		writeStatus(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, errStaleSeq), errors.Is(err, errDupSeq):

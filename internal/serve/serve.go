@@ -15,6 +15,7 @@ import (
 	"lava/internal/runner"
 	"lava/internal/scheduler"
 	"lava/internal/sim"
+	"lava/internal/slo"
 	"lava/internal/trace"
 )
 
@@ -77,6 +78,13 @@ type Config struct {
 	// TraceOut, when set, additionally persists every decision as one JSON
 	// line, surviving ring eviction.
 	TraceOut io.Writer
+
+	// SLO enables per-class token-bucket admission inside the machine (see
+	// sim.Config.SLO): over-budget placements answer 429 with a typed body,
+	// /stats and /drain grow per-class blocks, and the latency histogram
+	// splits by class. Nil — or an all-unlimited, non-tracking config —
+	// keeps the server byte-identical to a pre-class build.
+	SLO *slo.Config
 }
 
 // DefaultTraceCap is the decision-ring capacity a traced server uses when
@@ -158,6 +166,11 @@ type Stats struct {
 	Draining   bool                 `json:"draining"`
 	Latency    *runner.ServingStats `json:"latency,omitempty"`
 	Memo       *MemoStats           `json:"memo,omitempty"`
+
+	// SLO is the live per-class admission block (counts + Jain fairness);
+	// omitted when the SLO layer is off, so pre-class clients decode the
+	// payload unchanged (superset-decode contract, like DrainFleet).
+	SLO *slo.Summary `json:"slo,omitempty"`
 }
 
 // Server is the online placement service: one event loop, one pool, one
@@ -224,6 +237,7 @@ func New(cfg Config) (*Server, error) {
 			Policy:   cfg.Policy.Name(),
 		})
 	}
+	cfg.SLO = cfg.SLO.Normalize()
 	m, err := sim.NewMachine(sim.Config{
 		Trace:       ht,
 		Policy:      cfg.Policy,
@@ -232,6 +246,7 @@ func New(cfg Config) (*Server, error) {
 		TickEvery:   cfg.TickEvery,
 		Injectors:   cfg.Injectors,
 		Tracer:      tracer,
+		SLO:         cfg.SLO,
 	})
 	if err != nil {
 		return nil, err
@@ -600,7 +615,15 @@ func (s *Server) apply(r *request, pendingSeq int) {
 		resp.stats = s.statsNow(pendingSeq)
 	}
 	if mutating(r.kind) {
-		s.lat.Record(time.Since(start))
+		if s.cfg.SLO != nil && r.kind == reqPlace {
+			if cls, err := slo.ParseClass(r.rec.Class); err == nil {
+				s.lat.RecordClass(cls, time.Since(start))
+			} else {
+				s.lat.Record(time.Since(start))
+			}
+		} else {
+			s.lat.Record(time.Since(start))
+		}
 	}
 	r.resp <- resp
 }
@@ -634,5 +657,6 @@ func (s *Server) statsNow(pendingSeq int) Stats {
 		ms := s.cfg.Memo.Stats()
 		st.Memo = &ms
 	}
+	st.SLO = s.m.SLOSummary()
 	return st
 }

@@ -9,6 +9,7 @@ import (
 	"lava/internal/metrics"
 	"lava/internal/ptrace"
 	"lava/internal/scheduler"
+	"lava/internal/slo"
 	"lava/internal/trace"
 )
 
@@ -165,6 +166,15 @@ type Config struct {
 	// Tracing is observe-only: it cannot change results. nil disables it
 	// with zero hot-path cost.
 	Tracer *ptrace.Recorder
+
+	// SLO enables class-aware admission: each Create is charged against its
+	// class's deterministic token bucket before the policy sees it, and the
+	// run reports per-class counts plus fairness/fitness in Result.SLO.
+	// Rejections surface as *slo.RejectError — Run skips and counts them;
+	// the serving layer maps them to HTTP 429. A nil (or all-unlimited,
+	// non-tracking) config disables the layer entirely and keeps Result
+	// byte-identical to pre-class builds.
+	SLO *slo.Config
 }
 
 // Result summarizes a run.
@@ -194,6 +204,11 @@ type Result struct {
 	MigratedOut int
 	MigratedIn  int
 
+	// SLO is the per-class admission summary (nil when Config.SLO was nil
+	// or a no-op): counts per class, Jain fairness over admission rates, and
+	// the multi-objective fitness score with a neutral latency term.
+	SLO *slo.Summary `json:",omitempty"`
+
 	FinalPool *cluster.Pool
 }
 
@@ -222,6 +237,11 @@ type Machine struct {
 	pool *cluster.Pool
 	res  *Result
 	ctl  *Control
+
+	// gate is the class admission controller (nil: SLO layer off). It is
+	// stepped only from the single driving goroutine, so its token streams
+	// are replayable at any upstream concurrency.
+	gate *slo.Gate
 
 	now        time.Duration
 	end        time.Duration
@@ -272,11 +292,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 		scheduler.EnableTrace(cfg.Policy, cfg.Tracer.K())
 		ctl.tracer = cfg.Tracer
 	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return nil, err
+	}
 	return &Machine{
 		cfg:  cfg,
 		pool: pool,
 		res:  res,
 		ctl:  ctl,
+		gate: slo.NewGate(cfg.SLO),
 		// Measure until the arrival horizon: past it the pool only drains,
 		// which says nothing about steady-state packing quality.
 		end:      cfg.Trace.End(),
@@ -299,6 +323,19 @@ func (m *Machine) End() time.Duration { return m.end }
 // before and after Finish.
 func (m *Machine) Counts() (placements, exits, failed int) {
 	return m.res.Placements, m.res.Exits, m.res.Failed
+}
+
+// SLOSummary snapshots the live per-class admission counters and fairness
+// index, or nil when the SLO layer is off. Fitness is reported only by
+// Finish (the packing aggregates it weighs do not exist mid-run).
+func (m *Machine) SLOSummary() *slo.Summary {
+	if m.gate == nil {
+		return nil
+	}
+	if m.finished {
+		return m.res.SLO
+	}
+	return m.gate.Summary(0, 0, false)
 }
 
 // Advance moves virtual time forward to t, firing every due metric sample
@@ -340,8 +377,11 @@ func (m *Machine) Advance(t time.Duration) error {
 
 // Create advances to at and schedules a VM for the record. It returns the
 // chosen host, or (nil, nil) when no feasible host exists (counted in
-// Result.Failed, as in Run). Any other scheduling or placement error is
-// fatal to the run.
+// Result.Failed, as in Run). With Config.SLO set, the record's class is
+// charged against its token bucket first — after the time advance, so both
+// arms see identical refill windows — and an over-budget arrival returns a
+// *slo.RejectError without touching policy or pool state. Any other
+// scheduling or placement error is fatal to the run.
 func (m *Machine) Create(rec trace.Record, at time.Duration) (*cluster.Host, error) {
 	if m.finished {
 		return nil, ErrFinished
@@ -352,10 +392,21 @@ func (m *Machine) Create(rec trace.Record, at time.Duration) (*cluster.Host, err
 	if err := m.Advance(at); err != nil {
 		return nil, err
 	}
+	var class string
+	if m.gate != nil {
+		var err error
+		if class, err = slo.ParseClass(rec.Class); err != nil {
+			return nil, err
+		}
+		if ok, retry := m.gate.Admit(class, at); !ok {
+			return nil, &slo.RejectError{Class: class, RetryAt: retry}
+		}
+	}
 	vm := &cluster.VM{
 		ID:           rec.ID,
 		Shape:        rec.Shape,
 		Feat:         rec.Feat,
+		Class:        class,
 		Created:      at,
 		TrueLifetime: rec.Lifetime,
 	}
@@ -363,6 +414,9 @@ func (m *Machine) Create(rec trace.Record, at time.Duration) (*cluster.Host, err
 	if err != nil {
 		if errors.Is(err, scheduler.ErrNoCapacity) {
 			m.res.Failed++
+			if m.gate != nil {
+				m.gate.Class(class).Failed++
+			}
 			if m.cfg.Tracer != nil {
 				m.recordDecision(ptrace.KindFail, rec, at, -1)
 			}
@@ -375,6 +429,9 @@ func (m *Machine) Create(rec trace.Record, at time.Duration) (*cluster.Host, err
 	}
 	m.cfg.Policy.OnPlaced(m.pool, h, vm, at)
 	m.res.Placements++
+	if m.gate != nil {
+		m.gate.Class(class).Placed++
+	}
 	if m.cfg.Tracer != nil {
 		m.recordDecision(ptrace.KindPlace, rec, at, h.ID)
 	}
@@ -419,6 +476,15 @@ func (m *Machine) Exit(id cluster.VMID, at time.Duration) (bool, error) {
 	}
 	m.cfg.Policy.OnExited(m.pool, h, vm, at)
 	m.res.Exits++
+	if m.gate != nil {
+		// vm.Class survives migrations, so a VM admitted elsewhere still
+		// exits under its own class (empty for pre-gate VMs → standard).
+		cls, err := slo.ParseClass(vm.Class)
+		if err != nil {
+			cls = slo.ClassStandard
+		}
+		m.gate.Class(cls).Exited++
+	}
 	if m.cfg.Tracer != nil {
 		m.cfg.Tracer.Record(ptrace.Decision{Kind: ptrace.KindExit, T: at, VM: id, Host: h.ID, Level: -1})
 	}
@@ -543,6 +609,11 @@ func (m *Machine) Finish() (*Result, error) {
 	if mc, ok := m.cfg.Policy.(modelCaller); ok {
 		m.res.ModelCalls = mc.ModelCalls()
 	}
+	if m.gate != nil {
+		// Drain-path fitness: the latency term is neutral (1) so the score,
+		// like every other drain byte, is identical online and offline.
+		m.res.SLO = m.gate.Summary(m.res.AvgPackingDensity, m.res.AvgEmptyToFree, true)
+	}
 	m.res.FinalPool = m.pool
 	m.finished = true
 	return m.res, nil
@@ -561,6 +632,9 @@ func Run(cfg Config) (*Result, error) {
 		switch ev.Kind {
 		case trace.EventCreate:
 			if _, err := m.Create(ev.Rec, ev.Time); err != nil {
+				if slo.IsReject(err) {
+					continue // counted per class; the VM never ran
+				}
 				return nil, err
 			}
 		case trace.EventExit:

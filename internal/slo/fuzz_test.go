@@ -1,0 +1,120 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzTokenBucket drives a Gate with an arbitrary monotonic arrival stream
+// and checks it against an independent reference ledger plus two invariants
+// the admission contract promises:
+//
+//  1. capacity: within any single window the gate admits at most burst()
+//     requests — tokens never exceed the cap, and no refill lands mid-window;
+//  2. work conservation: the gate never rejects while the reference ledger
+//     says a token is available (and vice versa — the decision streams match
+//     exactly, which is what online/offline parity ultimately rests on).
+//
+// The reference model is deliberately the dumbest possible ledger: integer
+// tokens, explicit refill per elapsed boundary, no shared code with Gate.
+func FuzzTokenBucket(f *testing.F) {
+	f.Add(int64(3), int64(2), int64(60), []byte{1, 1, 1, 1, 200, 1, 1})
+	f.Add(int64(0), int64(1), int64(1), []byte{0, 0, 0})
+	f.Add(int64(5), int64(0), int64(10), []byte{9, 9, 9, 9, 9, 9})
+	f.Add(int64(1), int64(1), int64(3600), []byte{255, 255, 255, 0})
+
+	f.Fuzz(func(t *testing.T, burst, refill, winSec int64, deltas []byte) {
+		burst %= 16
+		refill %= 16
+		winSec %= 7200
+		if burst < 0 {
+			burst = -burst
+		}
+		if refill < 0 {
+			refill = -refill
+		}
+		if winSec <= 0 {
+			winSec = 1
+		}
+		if len(deltas) > 256 {
+			deltas = deltas[:256]
+		}
+		win := time.Duration(winSec) * time.Second
+		b := Bucket{Burst: burst, Refill: refill, Window: win}
+		if b.Unlimited() {
+			return // nothing to shape; unlimited admission is tested elsewhere
+		}
+		g := NewGate(&Config{Standard: b})
+		if g == nil {
+			t.Fatal("limited config produced nil gate")
+		}
+
+		cap := b.Burst
+		if cap <= 0 {
+			cap = b.Refill
+		}
+
+		// Reference ledger.
+		refTokens := cap
+		refWin := int64(0)
+		refInit := false
+
+		at := time.Duration(0)
+		admitsInWin := map[int64]int64{}
+		total := 0
+		for _, d := range deltas {
+			// Monotonic virtual time: each event advances 0..255 seconds.
+			at += time.Duration(d) * time.Second
+			w := int64(at / win)
+
+			ok, retry := g.Admit(ClassStandard, at)
+
+			// Advance the reference ledger to window w.
+			if !refInit {
+				refInit = true
+				refWin = w
+			} else if w > refWin {
+				refTokens += (w - refWin) * refill
+				if refTokens > cap {
+					refTokens = cap
+				}
+				refWin = w
+			}
+			wantOK := refTokens > 0
+			if wantOK {
+				refTokens--
+			}
+
+			if ok != wantOK {
+				t.Fatalf("event %d (at=%v w=%d): gate=%v ref=%v (burst=%d refill=%d win=%v, refTokens now %d)",
+					total, at, w, ok, wantOK, burst, refill, win, refTokens)
+			}
+			if ok {
+				admitsInWin[w]++
+				if admitsInWin[w] > cap {
+					t.Fatalf("window %d admitted %d > capacity %d", w, admitsInWin[w], cap)
+				}
+			} else {
+				// The retry hint must point at a strictly future refill
+				// boundary — a client sleeping until then can make progress.
+				if retry <= at {
+					t.Fatalf("retryAt %v not after arrival %v", retry, at)
+				}
+				if retry%win != 0 {
+					t.Fatalf("retryAt %v not on a %v boundary", retry, win)
+				}
+			}
+			total++
+		}
+
+		// The gate's own accounting agrees with the decision stream.
+		c := g.Class(ClassStandard)
+		var admitted int64
+		for _, n := range admitsInWin {
+			admitted += n
+		}
+		if c.Admitted != admitted || c.Admitted+c.Rejected != int64(total) {
+			t.Fatalf("counts %+v disagree with %d admits / %d events", c, admitted, total)
+		}
+	})
+}

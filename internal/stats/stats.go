@@ -37,6 +37,25 @@ func Variance(xs []float64) float64 {
 // StdDev returns the sample standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// Jain returns Jain's fairness index (Σx)² / (n·Σx²) for non-negative
+// allocations: 1.0 when all shares are equal, 1/n for a one-hot vector.
+// Empty or all-zero input is perfectly fair by convention (1.0) — the
+// NaN-guard for zero-traffic classes.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Quantile returns the q-th empirical quantile (nearest-rank), q in [0,1].
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {

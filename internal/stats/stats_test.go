@@ -192,3 +192,37 @@ func TestStationaryBootstrapCI(t *testing.T) {
 		t.Fatal("empty series must fail")
 	}
 }
+
+func TestJain(t *testing.T) {
+	// All-equal allocations are perfectly fair, whatever the level.
+	for _, xs := range [][]float64{{1, 1, 1}, {0.25, 0.25}, {7}, {3, 3, 3, 3, 3}} {
+		if got := Jain(xs); got != 1 {
+			t.Fatalf("Jain(%v) = %v, want 1", xs, got)
+		}
+	}
+	// One-hot: a single user hogging everything scores 1/n.
+	for n := 1; n <= 6; n++ {
+		xs := make([]float64, n)
+		xs[0] = 1
+		want := 1 / float64(n)
+		if got := Jain(xs); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("one-hot n=%d: Jain = %v, want %v", n, got, want)
+		}
+	}
+	// Degenerate inputs must not produce NaN: no samples and all-zero
+	// samples (classes with zero traffic) both read as perfectly fair.
+	for _, xs := range [][]float64{nil, {}, {0}, {0, 0, 0}} {
+		got := Jain(xs)
+		if math.IsNaN(got) || got != 1 {
+			t.Fatalf("Jain(%v) = %v, want 1 (NaN-guard)", xs, got)
+		}
+	}
+	// Known closed form: rates {1, 0.5} -> (1.5)^2 / (2 * 1.25) = 0.9.
+	if got := Jain([]float64{1, 0.5}); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("Jain(1, 0.5) = %v, want 0.9", got)
+	}
+	// Scale invariance: J(c*x) == J(x).
+	if a, b := Jain([]float64{1, 2, 3}), Jain([]float64{10, 20, 30}); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("Jain not scale-invariant: %v vs %v", a, b)
+	}
+}

@@ -20,6 +20,12 @@ type Record struct {
 	Lifetime time.Duration     `json:"lifetime_ns"`
 	Shape    resources.Vector  `json:"shape"`
 	Feat     features.Features `json:"features"`
+
+	// Class is the request's SLO class ("latency" | "standard" |
+	// "besteffort"); empty means standard, so pre-class traces and clients
+	// decode unchanged. Validation lives in internal/slo — trace stays
+	// class-agnostic and the class never influences placement or routing.
+	Class string `json:"class,omitempty"`
 }
 
 // Exit returns the ground-truth exit time.

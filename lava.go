@@ -35,6 +35,7 @@ import (
 	"lava/internal/serve"
 	"lava/internal/sim"
 	"lava/internal/simtime"
+	"lava/internal/slo"
 	"lava/internal/trace"
 	"lava/internal/workload"
 )
@@ -383,6 +384,18 @@ type ServeConfig struct {
 	// per-cell streams would interleave nondeterministically — query each
 	// cell's ring instead).
 	TraceOut io.Writer
+
+	// Admission configures SLO-class token-bucket admission control, as a
+	// spec string parsed by slo.ParseConfig:
+	//
+	//	"latency=100/1m:200,standard=50/1m"   per-class refill/window[:burst]
+	//	"track"                               no limits, per-class accounting only
+	//	""                                    admission layer off entirely
+	//
+	// Unlisted classes stay unlimited. Rejected placements answer HTTP 429
+	// with the class and the virtual time of the next token; they consume
+	// their sequence turn but never a placement.
+	Admission string
 }
 
 // NewServer builds an online placement server (internal/serve) over the
@@ -412,6 +425,10 @@ func NewServer(tr *Trace, cfg ServeConfig) (*serve.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	adm, err := slo.ParseConfig(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
 	sc := serve.FromTrace(tr)
 	sc.Policy = pol
 	sc.TickEvery = cfg.TickEvery
@@ -421,6 +438,7 @@ func NewServer(tr *Trace, cfg ServeConfig) (*serve.Server, error) {
 	sc.TraceK = cfg.TraceK
 	sc.TraceCap = cfg.TraceCap
 	sc.TraceOut = cfg.TraceOut
+	sc.SLO = adm
 	return serve.New(sc)
 }
 
@@ -465,6 +483,13 @@ type FleetConfig struct {
 	// ScenarioSeed drives scenario randomness; must match the seed of the
 	// offline arm being compared against.
 	ScenarioSeed int64
+
+	// ClassMix labels the replayed event stream with SLO classes (see
+	// AssignClasses; seeded by ScenarioSeed). A live fleet ignores it —
+	// online requests carry their class on the wire — but
+	// ReplayFleetOffline needs it to reconstruct the classed stream a
+	// lavaload -class-mix replay sends, scenario-added arrivals included.
+	ClassMix string
 }
 
 // NewFleet builds a federated placement front-end (serve.Fleet) over the
@@ -475,6 +500,20 @@ type FleetConfig struct {
 // statically routed router kinds — the parity test in internal/serve
 // asserts it.
 func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
+	fc, _, err := buildFleetConfig(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewFleet(fc)
+}
+
+// buildFleetConfig resolves a facade FleetConfig into the serve-layer one:
+// scenario composition, memoization, policy factory, router and admission
+// defaults. It also returns the (possibly scenario-composed) trace the fleet
+// geometry came from — the event stream an offline reference replay must
+// use. Shared by NewFleet and ReplayFleetOffline so the two arms of a
+// parity comparison cannot drift in setup.
+func buildFleetConfig(tr *Trace, cfg FleetConfig) (serve.FleetConfig, *Trace, error) {
 	kind := cfg.Policy
 	if kind == "" {
 		kind = PolicyLAVA
@@ -483,14 +522,23 @@ func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
 	if cfg.Scenario != "" {
 		s, err := scenario.ByName(cfg.Scenario, tr, cfg.ScenarioSeed)
 		if err != nil {
-			return nil, err
+			return serve.FleetConfig{}, nil, err
 		}
 		spec = &s
 		composed, err := s.ComposeTrace(tr)
 		if err != nil {
-			return nil, err
+			return serve.FleetConfig{}, nil, err
 		}
 		tr = composed
+	}
+	if cfg.ClassMix != "" {
+		// Label after scenario composition so scenario-added arrivals get
+		// classes too — the same compose-then-label order lavaload uses.
+		labeled, err := AssignClasses(tr, cfg.ClassMix, cfg.ScenarioSeed)
+		if err != nil {
+			return serve.FleetConfig{}, nil, err
+		}
+		tr = labeled
 	}
 	pred := cfg.Pred
 	var memo *serve.MemoPredictor
@@ -517,6 +565,10 @@ func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
 	if router == "" {
 		router = RouterFeatureHash
 	}
+	adm, err := slo.ParseConfig(cfg.Admission)
+	if err != nil {
+		return serve.FleetConfig{}, nil, err
+	}
 	fc := serve.FleetFromTrace(tr)
 	if spec != nil {
 		fc.Injectors = spec.Injectors
@@ -532,10 +584,34 @@ func NewFleet(tr *Trace, cfg FleetConfig) (*serve.Fleet, error) {
 	fc.Memo = memo
 	fc.TraceK = cfg.TraceK
 	fc.TraceCap = cfg.TraceCap
+	fc.SLO = adm
 	fc.NewPolicy = func(int) (scheduler.Policy, error) {
 		return newPolicy(kind, pred, refresh)
 	}
-	return serve.NewFleet(fc)
+	return fc, tr, nil
+}
+
+// ReplayFleetOffline computes, without any servers or HTTP, the exact drain
+// report a fleet built by NewFleet(tr, cfg) produces when the trace's event
+// stream is replayed against it (serve.Client.Replay, any concurrency): the
+// offline arm of the federated parity harness, admission gate included. The
+// scenario composition, cell split, routing and token-bucket decisions all
+// run through the same code paths the live fleet uses, just sequentially.
+func ReplayFleetOffline(tr *Trace, cfg FleetConfig) (*serve.FleetDrainResponse, error) {
+	fc, composed, err := buildFleetConfig(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	roll, err := serve.RunScriptOffline(fc, serve.OpsFromTrace(composed))
+	if err != nil {
+		return nil, err
+	}
+	pol, err := fc.NewPolicy(0)
+	if err != nil {
+		return nil, err
+	}
+	resp := serve.FleetReportOf(fc.PoolName, pol.Name(), roll)
+	return &resp, nil
 }
 
 // ServeFleet runs a federated placement fleet on addr until ctx is
@@ -589,6 +665,25 @@ type ReplayReport = serve.ReplayReport
 // concurrency.
 func ReplayTrace(ctx context.Context, baseURL string, tr *Trace, opt ReplayOptions) (*ReplayReport, error) {
 	return (&serve.Client{Base: baseURL}).Replay(ctx, tr, opt)
+}
+
+// AssignClasses labels a trace's records with SLO classes drawn from a mix
+// spec — "latency=1,standard=8,besteffort=1" style weights over the three
+// classes (see internal/slo.ParseMix) — and returns the labeled copy; the
+// input is never mutated. Assignment is a pure function of (seed, record
+// ID): independent of record order, so both arms of an online/offline
+// comparison label identically, and stable under scenario composition.
+// Classes never influence placement or routing — only admission and
+// per-class accounting.
+func AssignClasses(tr *Trace, mix string, seed int64) (*Trace, error) {
+	m, err := slo.ParseMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	if m.Zero() {
+		return tr, nil
+	}
+	return slo.AssignClasses(tr, m, seed), nil
 }
 
 // --- decision tracing & counterfactual replay ---------------------------

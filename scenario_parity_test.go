@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"lava/internal/serve"
+	"lava/internal/slo"
 )
 
 // TestScenarioOnlineOfflineParity is the elasticity harness's outermost
@@ -78,5 +79,131 @@ func TestScenarioOnlineOfflineParity(t *testing.T) {
 				t.Fatalf("online scenario diverged from offline:\nonline:  %s\noffline: %s", got, want)
 			}
 		})
+	}
+}
+
+// TestClassedAdmissionOnlineOfflineParity is the SLO layer's outermost
+// property test: a scenario-composed trace labeled with SLO classes, replayed
+// against a live fleet whose front door runs per-class token buckets, drains
+// byte-identically to ReplayFleetOffline — at 1 worker and at 8. The surge
+// scenario adds arrivals of its own, so the test also proves the
+// compose-then-label order: scenario-injected VMs are classed exactly as the
+// offline arm classes them.
+func TestClassedAdmissionOnlineOfflineParity(t *testing.T) {
+	tr := smallTrace(t)
+	pred, err := TrainModel(tr, ModelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		seed  = 7
+		mix   = "latency=2,standard=6,besteffort=2"
+		admit = "besteffort=1/6h:2"
+	)
+	cfg := FleetConfig{
+		ServeConfig:  ServeConfig{Policy: PolicyLAVA, Pred: pred, Admission: admit},
+		Cells:        3,
+		Router:       RouterFeatureHash,
+		Scenario:     "surge",
+		ScenarioSeed: seed,
+		ClassMix:     mix,
+	}
+
+	offline, err := ReplayFleetOffline(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := offline.Metrics.SLO
+	if sum == nil {
+		t.Fatal("offline classed replay carries no SLO summary")
+	}
+	if be := sum.Classes[slo.ClassBestEffort]; be == nil || be.Rejected == 0 {
+		t.Fatalf("admission config rejected nothing — the parity claim would be vacuous: %+v", sum.Classes)
+	}
+	if sum.Fairness >= 1 || sum.Fitness <= 0 {
+		t.Fatalf("fairness %v / fitness %v out of range for a shaped replay", sum.Fairness, sum.Fitness)
+	}
+	want, err := json.Marshal(*offline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The online client sends the exact stream the offline arm simulated:
+	// compose the scenario, then label — the same order buildFleetConfig uses.
+	composed, err := ComposeScenario(tr, "surge", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classed, err := AssignClasses(composed, mix, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		fleet, err := NewFleet(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(fleet.Handler())
+		rep, err := (&serve.Client{Base: hs.URL}).Replay(context.Background(), classed, serve.ReplayOptions{Concurrency: workers})
+		hs.Close()
+		fleet.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.FleetFinal == nil {
+			t.Fatalf("workers=%d: no fleet drain report", workers)
+		}
+		got, err := json.Marshal(*rep.FleetFinal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("classed online replay (workers=%d) diverged from offline:\nonline:  %s\noffline: %s", workers, got, want)
+		}
+		if rep.Rejected == 0 {
+			t.Fatalf("workers=%d: client saw no 429s despite gate rejections", workers)
+		}
+	}
+}
+
+// TestClassMixAloneChangesNothing is the back-compat half of the contract:
+// labeling a trace with SLO classes while leaving every bucket unlimited (no
+// Admission spec) must not move a single byte of the drain report relative to
+// the unclassed fleet — classes without admission are pure metadata.
+func TestClassMixAloneChangesNothing(t *testing.T) {
+	tr := smallTrace(t)
+	pred, err := TrainModel(tr, ModelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := FleetConfig{
+		ServeConfig: ServeConfig{Policy: PolicyLAVA, Pred: pred},
+		Cells:       3,
+		Router:      RouterFeatureHash,
+	}
+	plain, err := ReplayFleetOffline(tr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classedCfg := base
+	classedCfg.ClassMix = "latency=1,standard=1,besteffort=1"
+	classed, err := ReplayFleetOffline(tr, classedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := json.Marshal(*plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := json.Marshal(*classed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, cb) {
+		t.Fatalf("class labels with unlimited buckets changed the drain report:\nclassed:   %s\nunclassed: %s", cb, pb)
+	}
+	if bytes.Contains(pb, []byte(`"slo"`)) {
+		t.Fatalf("unadmitted drain report carries an slo block: %s", pb)
 	}
 }
