@@ -152,6 +152,16 @@ func BenchmarkScalePlacement(b *testing.B) {
 			{"wastemin", func() scheduler.Policy { return scheduler.NewWasteMin() }},
 			{"nilas", func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) }},
 			{"lava", func() scheduler.Policy { return scheduler.NewLAVA(pred, time.Minute) }},
+			// Epoch-quantized variants: the fully-static chains the mega
+			// scale cells run. On the cached engine every level is served
+			// from cache, which removes the dynamic temporal level's
+			// O(feasible hosts) floor (see internal/scheduler/epoch.go).
+			{"nilas-epoch", func() scheduler.Policy {
+				return scheduler.NewNILASEpoch(pred, time.Minute, scheduler.DefaultEpoch)
+			}},
+			{"lava-epoch", func() scheduler.Policy {
+				return scheduler.NewLAVAEpoch(pred, time.Minute, scheduler.DefaultEpoch)
+			}},
 		} {
 			for _, eng := range []struct {
 				name string

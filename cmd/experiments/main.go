@@ -57,14 +57,26 @@
 //	-router KIND          cell router: round-robin | least-utilized |
 //	                      feature-hash (default "" = feature-hash)
 //
-// The scale experiment (this PR) sweeps pool size (1k/10k/50k hosts at
-// -scale 1, shrunk proportionally with a 64-host floor) x policy x scoring
-// engine on a fixed fig6-mix workload. Its report doubles as a differential
-// check (the "identical" column) and its BENCH_scale.json — produced in CI
-// at reduced scale — is the placement-throughput scale curve future PRs are
-// held against. Wall-clock speedup columns are only meaningful with
-// -parallel 1; the benchstat-gated numbers come from BenchmarkScalePlacement
-// (see README.md "Benchmarking & performance tuning").
+// The scale experiment sweeps pool size x policy x scoring engine on a
+// fixed fig6-mix workload, in two tiers (-scale-tier):
+//
+//	full  (default)  dual-engine differential cells at 1k/10k/50k hosts
+//	                 (at -scale 1, shrunk proportionally, 64-host floor)
+//	                 plus the mega cells at 250k/1M hosts: cached engine
+//	                 only, epoch-quantized NILAS/LAVA, and a streamed
+//	                 trace that is generated record-by-record instead of
+//	                 materialized (memory stays O(live VMs))
+//	smoke            the 1k/10k dual-engine cells only — the minutes-long
+//	                 subset the bench-smoke CI job runs
+//
+// Row names always use the unscaled sweep size ("h1000000/..." runs 250k
+// actual hosts at -scale 0.25), so the same name tracks the same cell at
+// any -scale. The dual-engine report doubles as a differential check (the
+// "identical" column) and its BENCH_scale.json — produced in CI at reduced
+// scale — is the placement-throughput scale curve future PRs are held
+// against. Wall-clock speedup columns are only meaningful with -parallel 1;
+// the benchstat-gated numbers come from BenchmarkScalePlacement (see
+// README.md "Benchmarking & performance tuning").
 //
 // Each experiment prints the same rows/series the paper reports plus the
 // paper's published values for comparison. See README.md for the full
@@ -91,6 +103,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "simulation workers: 1 = sequential, 0 = GOMAXPROCS")
 		cells      = flag.Int("cells", 0, "federation width for the scenarios experiment (0 = default 4)")
 		scen       = flag.String("scenario", "", "restrict the scenarios experiment to one scenario id (empty = whole catalog)")
+		scaleTier  = flag.String("scale-tier", "", "scale experiment tier: full = dual-engine sweep + streamed 250k/1M mega cells (default), smoke = small dual-engine cells only (CI bench-smoke)")
 		router     = flag.String("router", "", "cell router for the scenarios experiment: round-robin | least-utilized | feature-hash")
 		jsonOut    = flag.String("json", "", "write machine-readable batch results to this file ('-' for stdout)")
 		canonical  = flag.Bool("canonical", false, "strip timings/worker counts from -json output so runs at any -parallel diff byte-identically")
@@ -111,7 +124,7 @@ func main() {
 	opt := experiments.Options{
 		Scale: *scale, Seed: *seed, Parallel: *parallel,
 		Cells: *cells, Scenario: *scen, Router: *router,
-		Exhaustive: *exhaustive,
+		ScaleTier: *scaleTier, Exhaustive: *exhaustive,
 	}
 	if *traceOn || *traceK > 0 || *traceOut != "" {
 		opt.TraceK = *traceK

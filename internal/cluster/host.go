@@ -49,7 +49,7 @@ type Host struct {
 	Capacity resources.Vector
 
 	used resources.Vector
-	vms  map[VMID]*VM
+	vms  map[VMID]*VM // lazily allocated on first placement; nil while never used
 
 	// Unavailable marks hosts drained for defragmentation or maintenance;
 	// the scheduler skips them (§4.4).
@@ -61,17 +61,16 @@ type Host struct {
 	State    HostState
 	Class    simtime.LifetimeClass
 	Deadline time.Duration // sim time at which the current class expires
-	residual map[VMID]bool // residual VMs of the current class epoch
+	residual map[VMID]bool // residual VMs of the current class epoch; nil when empty
 }
 
-// NewHost builds an empty host with the given capacity.
+// NewHost builds an empty host with the given capacity. The vms and residual
+// maps are allocated lazily on first use: at million-host scale most hosts
+// are cold for long stretches, and two eager map headers per host dominate
+// the resident footprint of an otherwise idle pool. Lookups, deletes and
+// ranges over nil maps are safe, so only the insertion paths allocate.
 func NewHost(id HostID, capacity resources.Vector) *Host {
-	return &Host{
-		ID:       id,
-		Capacity: capacity,
-		vms:      make(map[VMID]*VM),
-		residual: make(map[VMID]bool),
-	}
+	return &Host{ID: id, Capacity: capacity}
 }
 
 // Used returns the currently allocated resource vector.
@@ -113,6 +112,9 @@ func (h *Host) add(vm *VM) error {
 	}
 	if !h.Fits(vm.Shape) {
 		return fmt.Errorf("host %d: vm %d (%s) does not fit free %s", h.ID, vm.ID, vm.Shape, h.Free())
+	}
+	if h.vms == nil {
+		h.vms = make(map[VMID]*VM)
 	}
 	h.vms[vm.ID] = vm
 	h.used = h.used.Add(vm.Shape)
@@ -156,8 +158,13 @@ func (h *Host) StartRecycling() {
 	h.markAllResidual()
 }
 
-// markAllResidual labels every current VM as residual.
+// markAllResidual labels every current VM as residual. A host with no VMs
+// keeps a nil residual map.
 func (h *Host) markAllResidual() {
+	if len(h.vms) == 0 {
+		h.residual = nil
+		return
+	}
 	h.residual = make(map[VMID]bool, len(h.vms))
 	for id := range h.vms {
 		h.residual[id] = true
@@ -192,7 +199,7 @@ func (h *Host) ResetLAVA() {
 	h.State = StateEmpty
 	h.Class = 0
 	h.Deadline = 0
-	h.residual = make(map[VMID]bool)
+	h.residual = nil
 }
 
 // Clone deep-copies the host, including its VM set (VM structs are copied
@@ -207,16 +214,20 @@ func (h *Host) Clone() *Host {
 		State:       h.State,
 		Class:       h.Class,
 		Deadline:    h.Deadline,
-		vms:         make(map[VMID]*VM, len(h.vms)),
-		residual:    make(map[VMID]bool, len(h.residual)),
 	}
-	for id, vm := range h.vms {
-		cp := *vm
-		cp.Host = c
-		c.vms[id] = &cp
+	if len(h.vms) > 0 {
+		c.vms = make(map[VMID]*VM, len(h.vms))
+		for id, vm := range h.vms {
+			cp := *vm
+			cp.Host = c
+			c.vms[id] = &cp
+		}
 	}
-	for id := range h.residual {
-		c.residual[id] = true
+	if len(h.residual) > 0 {
+		c.residual = make(map[VMID]bool, len(h.residual))
+		for id := range h.residual {
+			c.residual[id] = true
+		}
 	}
 	return c
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"lava/internal/resources"
 )
@@ -20,17 +21,34 @@ const blockShift = 4
 // cost sublinear once pools run near capacity, where most hosts cannot take
 // another VM.
 //
+// Below the block summaries the index keeps the hot per-host fields in
+// dense ID-indexed columns (struct-of-arrays): free capacity per dimension
+// and the VM count. Blocks that survive pruning are scanned through the
+// columns — contiguous int64 reads instead of one pointer chase per host —
+// and *Host is dereferenced only for hosts that pass the capacity check.
+// The columns are exact mirrors of Host.Free()/NumVMs(), refreshed by the
+// same per-mutation update the summaries already get; availability is NOT
+// mirrored (Unavailable flips out of band, announced only via
+// HostInvalidated) and is always re-read from the struct.
+//
 // The component-wise max is an over-approximation (the max CPU and max
 // memory may come from different hosts), so a block that survives pruning
-// may still contain no feasible host; visitors re-check Fits per host.
-// Pruned blocks are exact: if the shape does not fit the max vector, it
-// fits no host in the block. Host IDs are dense (NewPool numbers them
-// 0..n-1), so block membership is ID>>blockShift and iteration order is ID
-// order, preserving scheduling determinism.
+// may still contain no feasible host; visitors re-check per host through
+// the columns. Pruned blocks are exact: if the shape does not fit the max
+// vector, it fits no host in the block. Host IDs are dense (NewPool numbers
+// them 0..n-1), so block membership is ID>>blockShift and iteration order
+// is ID order, preserving scheduling determinism.
 type capIndex struct {
 	hosts    []*Host
 	maxFree  []resources.Vector // per block: component-wise max free
 	nonEmpty []int              // per block: hosts with >= 1 VM
+
+	// Dense per-host columns, parallel to hosts (slice position == HostID
+	// while the pool is dense).
+	freeCPU []int64
+	freeMem []int64
+	freeSSD []int64
+	numVMs  []int32
 }
 
 // newCapIndex builds the index over the pool's host slice.
@@ -40,6 +58,10 @@ func newCapIndex(hosts []*Host) *capIndex {
 		hosts:    hosts,
 		maxFree:  make([]resources.Vector, nb),
 		nonEmpty: make([]int, nb),
+		freeCPU:  make([]int64, len(hosts)),
+		freeMem:  make([]int64, len(hosts)),
+		freeSSD:  make([]int64, len(hosts)),
+		numVMs:   make([]int32, len(hosts)),
 	}
 	for b := range ix.maxFree {
 		ix.rebuild(b)
@@ -47,7 +69,7 @@ func newCapIndex(hosts []*Host) *capIndex {
 	return ix
 }
 
-// rebuild recomputes one block's summary from its hosts.
+// rebuild recomputes one block's summary and columns from its hosts.
 func (ix *capIndex) rebuild(b int) {
 	lo := b << blockShift
 	hi := lo + (1 << blockShift)
@@ -56,8 +78,13 @@ func (ix *capIndex) rebuild(b int) {
 	}
 	var mf resources.Vector
 	ne := 0
-	for _, h := range ix.hosts[lo:hi] {
+	for i := lo; i < hi; i++ {
+		h := ix.hosts[i]
 		f := h.Free()
+		ix.freeCPU[i] = f.CPUMilli
+		ix.freeMem[i] = f.MemoryMB
+		ix.freeSSD[i] = f.SSDGB
+		ix.numVMs[i] = int32(h.NumVMs())
 		if f.CPUMilli > mf.CPUMilli {
 			mf.CPUMilli = f.CPUMilli
 		}
@@ -76,13 +103,25 @@ func (ix *capIndex) rebuild(b int) {
 }
 
 // update refreshes the block containing the host. Called by the pool after
-// every mutation of a host's VM set; O(block size).
+// every mutation of a host's VM set; O(block size). Blocks partition slice
+// positions, which equal IDs only while the pool is dense — after a
+// mid-pool removal the host is located by binary search so the right block
+// still refreshes.
 func (ix *capIndex) update(id HostID) {
-	ix.rebuild(int(id) >> blockShift)
+	i := int(id)
+	if i >= len(ix.hosts) || ix.hosts[i].ID != id {
+		i = sort.Search(len(ix.hosts), func(j int) bool { return ix.hosts[j].ID >= id })
+		if i >= len(ix.hosts) || ix.hosts[i].ID != id {
+			return // not in the pool; nothing to refresh
+		}
+	}
+	ix.rebuild(i >> blockShift)
 }
 
 // appendFeasible appends the available hosts that fit shape to dst, in ID
-// order.
+// order. The per-host capacity check runs on the dense columns; the host
+// struct is touched only for hosts that fit, to read the out-of-band
+// Unavailable flag.
 func (ix *capIndex) appendFeasible(dst []*Host, shape resources.Vector) []*Host {
 	for b, mf := range ix.maxFree {
 		if !shape.Fits(mf) {
@@ -93,8 +132,11 @@ func (ix *capIndex) appendFeasible(dst []*Host, shape resources.Vector) []*Host 
 		if hi > len(ix.hosts) {
 			hi = len(ix.hosts)
 		}
-		for _, h := range ix.hosts[lo:hi] {
-			if !h.Unavailable && h.Fits(shape) {
+		for i := lo; i < hi; i++ {
+			if shape.CPUMilli > ix.freeCPU[i] || shape.MemoryMB > ix.freeMem[i] || shape.SSDGB > ix.freeSSD[i] {
+				continue
+			}
+			if h := ix.hosts[i]; !h.Unavailable {
 				dst = append(dst, h)
 			}
 		}
@@ -103,7 +145,8 @@ func (ix *capIndex) appendFeasible(dst []*Host, shape resources.Vector) []*Host 
 }
 
 // forEachNonEmpty calls fn for every host with at least one VM, in ID
-// order, skipping fully empty blocks.
+// order, skipping fully empty blocks via the summaries and empty hosts via
+// the VM-count column.
 func (ix *capIndex) forEachNonEmpty(fn func(*Host)) {
 	for b, ne := range ix.nonEmpty {
 		if ne == 0 {
@@ -114,9 +157,9 @@ func (ix *capIndex) forEachNonEmpty(fn func(*Host)) {
 		if hi > len(ix.hosts) {
 			hi = len(ix.hosts)
 		}
-		for _, h := range ix.hosts[lo:hi] {
-			if !h.Empty() {
-				fn(h)
+		for i := lo; i < hi; i++ {
+			if ix.numVMs[i] > 0 {
+				fn(ix.hosts[i])
 			}
 		}
 	}
@@ -132,9 +175,20 @@ func (ix *capIndex) emptyHosts() int {
 	return n
 }
 
-// checkInvariants verifies every block summary against its hosts; wired
-// into Pool.CheckInvariants so index corruption surfaces in tests.
+// checkInvariants verifies every block summary and every column entry
+// against its hosts; wired into Pool.CheckInvariants so index corruption
+// surfaces in tests.
 func (ix *capIndex) checkInvariants() error {
+	for i, h := range ix.hosts {
+		f := h.Free()
+		if ix.freeCPU[i] != f.CPUMilli || ix.freeMem[i] != f.MemoryMB || ix.freeSSD[i] != f.SSDGB {
+			return fmt.Errorf("capIndex: host %d free column (%d,%d,%d) != %s",
+				h.ID, ix.freeCPU[i], ix.freeMem[i], ix.freeSSD[i], f)
+		}
+		if int(ix.numVMs[i]) != h.NumVMs() {
+			return fmt.Errorf("capIndex: host %d numVMs column %d != %d", h.ID, ix.numVMs[i], h.NumVMs())
+		}
+	}
 	for b := range ix.maxFree {
 		mf, ne := ix.maxFree[b], ix.nonEmpty[b]
 		ix.rebuild(b)

@@ -22,6 +22,15 @@ type Pool struct {
 	idx   *capIndex      // free-capacity index over hosts
 	subs  []HostListener // host-event subscribers (see events.go)
 
+	// Running pool-wide aggregates, maintained O(1) per mutation so metric
+	// sampling costs O(1) instead of an O(hosts) scan. All three are exact
+	// integer sums, so the derived metrics are bit-identical to the scans
+	// they replaced. emptyCap is the capacity summed over currently empty
+	// hosts (an empty host's free vector IS its capacity).
+	usedTot  resources.Vector
+	capTot   resources.Vector
+	emptyCap resources.Vector
+
 	// Counters for telemetry (§7: production monitoring).
 	Placements int
 	Exits      int
@@ -39,6 +48,8 @@ func NewPool(name string, n int, capacity resources.Vector) *Pool {
 		h := NewHost(HostID(i), capacity)
 		p.hosts = append(p.hosts, h)
 		p.byID[h.ID] = h
+		p.capTot = p.capTot.Add(capacity)
+		p.emptyCap = p.emptyCap.Add(capacity)
 	}
 	p.idx = newCapIndex(p.hosts)
 	return p
@@ -70,6 +81,8 @@ func (p *Pool) AddHosts(n int, capacity resources.Vector) []*Host {
 		p.hosts = append(p.hosts, h)
 		p.byID[h.ID] = h
 		added = append(added, h)
+		p.capTot = p.capTot.Add(capacity)
+		p.emptyCap = p.emptyCap.Add(capacity)
 	}
 	p.idx = newCapIndex(p.hosts)
 	for _, h := range added {
@@ -98,6 +111,8 @@ func (p *Pool) RemoveHost(id HostID) error {
 		}
 	}
 	delete(p.byID, id)
+	p.capTot = p.capTot.Sub(h.Capacity)
+	p.emptyCap = p.emptyCap.Sub(h.Capacity) // removable hosts are empty
 	p.idx = newCapIndex(p.hosts)
 	p.notify(h, HostRemoved)
 	return nil
@@ -137,10 +152,15 @@ func (p *Pool) Place(vm *VM, h *Host) error {
 	if cur, ok := p.vms[vm.ID]; ok {
 		return fmt.Errorf("pool %s: vm %d already on host %d", p.Name, vm.ID, cur.ID)
 	}
+	wasEmpty := h.Empty()
 	if err := h.add(vm); err != nil {
 		return err
 	}
 	p.vms[vm.ID] = h
+	p.usedTot = p.usedTot.Add(vm.Shape)
+	if wasEmpty {
+		p.emptyCap = p.emptyCap.Sub(h.Capacity)
+	}
 	p.idx.update(h.ID)
 	p.Placements++
 	p.notify(h, HostPlaced)
@@ -158,6 +178,10 @@ func (p *Pool) Exit(id VMID) (*Host, *VM, error) {
 		return nil, nil, err
 	}
 	delete(p.vms, id)
+	p.usedTot = p.usedTot.Sub(vm.Shape)
+	if h.Empty() {
+		p.emptyCap = p.emptyCap.Add(h.Capacity)
+	}
 	p.idx.update(h.ID)
 	p.Exits++
 	p.notify(h, HostExited)
@@ -174,18 +198,28 @@ func (p *Pool) Migrate(id VMID, dst *Host) (*Host, error) {
 	if src == dst {
 		return nil, fmt.Errorf("pool %s: vm %d migration to its own host %d", p.Name, id, src.ID)
 	}
+	dstWasEmpty := dst.Empty()
 	vm, err := src.remove(id)
 	if err != nil {
 		return nil, err
 	}
 	if err := dst.add(vm); err != nil {
-		// Roll back so the pool stays consistent.
+		// Roll back so the pool stays consistent. The aggregates were not
+		// touched yet, so the rollback path leaves them consistent too.
 		if rbErr := src.add(vm); rbErr != nil {
 			panic(fmt.Sprintf("pool %s: migration rollback failed: %v", p.Name, rbErr))
 		}
 		return nil, err
 	}
 	p.vms[id] = dst
+	// usedTot is unchanged (the VM moved, not exited). Empty-capacity moves
+	// if the source drained or the destination was previously empty.
+	if src.Empty() {
+		p.emptyCap = p.emptyCap.Add(src.Capacity)
+	}
+	if dstWasEmpty {
+		p.emptyCap = p.emptyCap.Sub(dst.Capacity)
+	}
 	p.idx.update(src.ID)
 	p.idx.update(dst.ID)
 	vm.Migrations++
@@ -211,57 +245,41 @@ func (p *Pool) EmptyHostFraction() float64 {
 }
 
 // EmptyToFreeRatio returns the fraction of free CPU cores that sit on
-// completely empty hosts (Appendix D).
+// completely empty hosts (Appendix D). O(1) off the running aggregates: an
+// empty host's free CPU is its capacity CPU, so the numerator is emptyCap
+// and the denominator the pool-wide free total — both exact integer sums,
+// bit-identical to the host scan this replaced.
 func (p *Pool) EmptyToFreeRatio() float64 {
-	var emptyCPU, freeCPU int64
-	for _, h := range p.hosts {
-		f := h.Free().CPUMilli
-		freeCPU += f
-		if h.Empty() {
-			emptyCPU += f
-		}
-	}
+	freeCPU := p.capTot.CPUMilli - p.usedTot.CPUMilli
 	if freeCPU == 0 {
 		return 0
 	}
-	return float64(emptyCPU) / float64(freeCPU)
+	return float64(p.emptyCap.CPUMilli) / float64(freeCPU)
 }
 
 // PackingDensity returns allocated cores on non-empty hosts divided by total
 // cores on non-empty hosts, the metric of Barbalho et al. (Appendix D).
+// O(1): empty hosts contribute no used cores, so the numerator is the pool
+// total, and the denominator subtracts empty capacity from total capacity.
 func (p *Pool) PackingDensity() float64 {
-	var used, cap int64
-	for _, h := range p.hosts {
-		if h.Empty() {
-			continue
-		}
-		used += h.Used().CPUMilli
-		cap += h.Capacity.CPUMilli
-	}
+	cap := p.capTot.CPUMilli - p.emptyCap.CPUMilli
 	if cap == 0 {
 		return 0
 	}
-	return float64(used) / float64(cap)
+	return float64(p.usedTot.CPUMilli) / float64(cap)
 }
 
-// Utilization returns pool-wide CPU and memory utilization fractions.
+// Utilization returns pool-wide CPU and memory utilization fractions, O(1)
+// off the running aggregates.
 func (p *Pool) Utilization() (cpu, mem float64) {
-	var used, cap resources.Vector
-	for _, h := range p.hosts {
-		used = used.Add(h.Used())
-		cap = cap.Add(h.Capacity)
-	}
-	c, m, _ := resources.Utilization(used, cap)
+	c, m, _ := resources.Utilization(p.usedTot, p.capTot)
 	return c, m
 }
 
-// FreeTotal returns the pool-wide free resource vector.
+// FreeTotal returns the pool-wide free resource vector, O(1) off the running
+// aggregates.
 func (p *Pool) FreeTotal() resources.Vector {
-	var free resources.Vector
-	for _, h := range p.hosts {
-		free = free.Add(h.Free())
-	}
-	return free
+	return p.capTot.Sub(p.usedTot)
 }
 
 // RunningVMs returns all running VMs sorted by ID.
@@ -292,6 +310,9 @@ func (p *Pool) Clone() *Pool {
 			c.vms[vm.ID] = hc
 		}
 	}
+	c.usedTot = p.usedTot
+	c.capTot = p.capTot
+	c.emptyCap = p.emptyCap
 	c.idx = newCapIndex(c.hosts)
 	return c
 }
@@ -325,6 +346,23 @@ func (p *Pool) CheckInvariants() error {
 	}
 	if len(seen) != len(p.vms) {
 		return fmt.Errorf("vm index size %d != hosted VMs %d", len(p.vms), len(seen))
+	}
+	var usedTot, capTot, emptyCap resources.Vector
+	for _, h := range p.hosts {
+		usedTot = usedTot.Add(h.Used())
+		capTot = capTot.Add(h.Capacity)
+		if h.Empty() {
+			emptyCap = emptyCap.Add(h.Capacity)
+		}
+	}
+	if usedTot != p.usedTot {
+		return fmt.Errorf("usedTot aggregate %s != scan %s", p.usedTot, usedTot)
+	}
+	if capTot != p.capTot {
+		return fmt.Errorf("capTot aggregate %s != scan %s", p.capTot, capTot)
+	}
+	if emptyCap != p.emptyCap {
+		return fmt.Errorf("emptyCap aggregate %s != scan %s", p.emptyCap, emptyCap)
 	}
 	return p.idx.checkInvariants()
 }

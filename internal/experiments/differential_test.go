@@ -64,6 +64,7 @@ func TestScalePipeline(t *testing.T) {
 	}
 	opt := tiny()
 	opt.Sink = &runner.Sink{}
+	opt.ScaleTier = ScaleTierSmoke // the dual-engine subset; mega cells are far beyond test size
 	rep, err := Run("scale", opt)
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +77,7 @@ func TestScalePipeline(t *testing.T) {
 		t.Fatal("scale report has no rows")
 	}
 	for _, row := range sr.Rows {
-		if !row.Identical {
+		if !row.Identical && !row.CachedOnly {
 			t.Errorf("h%d/%s: cached and exhaustive arms diverged", row.Hosts, row.Policy)
 		}
 		if row.Placements == 0 {

@@ -41,6 +41,13 @@ type Options struct {
 	// from the internal/scenario catalog; empty runs the whole catalog.
 	Scenario string
 
+	// ScaleTier selects the scale experiment's cell set: "full" (default)
+	// runs the complete sweep — dual-engine differential cells plus the
+	// cached-only streamed mega cells (250k/1M hosts at scale 1) — while
+	// "smoke" runs only the small dual-engine cells, the minutes-not-hours
+	// subset the bench-smoke CI job uses.
+	ScaleTier string
+
 	// Router picks the cell router for the scenarios experiment
 	// (round-robin | least-utilized | feature-hash; default feature-hash).
 	Router string

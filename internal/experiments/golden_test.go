@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden rewrites the testdata canonical-JSON goldens from the current
+// tree. The files were generated before the struct-of-arrays / streaming
+// refactor, so running the test WITHOUT this flag proves the refactored
+// representation layers still produce the exact pre-refactor bytes.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden canonical JSON files")
+
+// TestCanonicalGolden pins the fig13 and scenarios canonical BENCH JSON to
+// bytes recorded before the memory-architecture refactor (SoA host state,
+// streaming traces, epoch-cached temporal scores, incremental rollups). Any
+// representation change that leaks into results — packing aggregates,
+// model-call counts, placement totals — fails this test before it reaches
+// the heavier CI differential gates.
+func TestCanonicalGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, exp := range []string{"fig13", "scenarios"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			got := canonicalDoc(t, exp, 1, false)
+			path := filepath.Join("testdata", "golden_"+exp+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden missing (regenerate with -update-golden on a known-good tree): %v", err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("canonical %s JSON drifted from the pre-refactor golden:\n--- want ---\n%s\n--- got ---\n%s",
+					exp, want, got)
+			}
+		})
+	}
+}

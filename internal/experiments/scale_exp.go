@@ -20,22 +20,39 @@ func init() {
 	register("scale", runScale)
 }
 
-// scaleHostSweep is the pool-size sweep at scale 1. Options.Scale shrinks it
-// (floor 64 hosts), so CI gates run the same experiment in seconds while a
-// full run measures the sizes the paper's production pools actually have.
-var scaleHostSweep = []int{1000, 10000, 50000}
+// Scale tiers (Options.ScaleTier).
+const (
+	ScaleTierSmoke = "smoke"
+	ScaleTierFull  = "full"
+)
+
+// Pool-size sweeps at scale 1. Options.Scale shrinks them (floor 64 hosts);
+// row names keep the unscaled size, so the same row names the same cell at
+// any -scale. The dual-engine sweep runs every policy on both engines as a
+// differential check; the mega sweep is the million-host tier — cached
+// engine only (an exhaustive arm would take days), epoch-quantized
+// temporal policies, and a streamed trace that is never materialized.
+var (
+	scaleHostSweep  = []int{1000, 10000, 50000}
+	scaleSmokeSweep = []int{1000, 10000}
+	scaleMegaSweep  = []int{250000, 1000000}
+)
 
 // ScaleRow is one (pool size, policy) measurement: wall-clock seconds and
 // placement throughput for the incremental score-cache engine vs the
 // exhaustive reference, plus the equivalence check between the two arms.
+// Mega-tier rows (CachedOnly) have no exhaustive arm: ExhSec, Speedup and
+// Identical are not meaningful there and stay at their zero values.
 type ScaleRow struct {
-	Hosts      int
-	Policy     string
-	Placements int
-	CachedSec  float64
-	ExhSec     float64
-	Speedup    float64 // ExhSec / CachedSec
-	Identical  bool    // cached and exhaustive aggregates match exactly
+	Hosts       int // unscaled sweep size (the row's identity across -scale)
+	ActualHosts int // host count actually simulated after Options.Scale
+	Policy      string
+	Placements  int
+	CachedSec   float64
+	ExhSec      float64
+	Speedup     float64 // ExhSec / CachedSec
+	Identical   bool    // cached and exhaustive aggregates match exactly
+	CachedOnly  bool    // mega tier: streamed replay, no exhaustive arm
 }
 
 // ScaleReport is the pool-scale benchmark suite: how placement cost grows
@@ -51,20 +68,27 @@ func (r *ScaleReport) Name() string { return "scale" }
 // Render implements Report.
 func (r *ScaleReport) Render(w io.Writer) {
 	fmt.Fprintln(w, "Scale — placement throughput vs pool size (cached vs exhaustive engine)")
-	fmt.Fprintln(w, "hosts  | policy   | placements | cached s | exhaust s | speedup | identical")
+	fmt.Fprintln(w, "hosts   | policy   | placements | cached s | exhaust s | speedup | identical")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%6d | %-8s | %10d | %8.2f | %9.2f | %6.2fx | %v\n",
-			row.Hosts, row.Policy, row.Placements, row.CachedSec, row.ExhSec, row.Speedup, row.Identical)
+		ident := fmt.Sprintf("%v", row.Identical)
+		exh, spd := fmt.Sprintf("%9.2f", row.ExhSec), fmt.Sprintf("%6.2fx", row.Speedup)
+		if row.CachedOnly {
+			ident, exh, spd = "n/a", "        -", "      -"
+		}
+		fmt.Fprintf(w, "%7d | %-8s | %10d | %8.2f | %s | %s | %s\n",
+			row.Hosts, row.Policy, row.Placements, row.CachedSec, exh, spd, ident)
 	}
 	fmt.Fprintln(w, "note: speedups are wall-clock and only meaningful at -parallel 1;")
-	fmt.Fprintln(w, "      the benchstat-gated numbers come from BenchmarkScalePlacement")
+	fmt.Fprintln(w, "      the benchstat-gated numbers come from BenchmarkScalePlacement.")
+	fmt.Fprintln(w, "      mega rows (cached-only) replay a streamed trace under the")
+	fmt.Fprintln(w, "      epoch-quantized policies; no exhaustive arm exists at that size.")
 }
 
-// scaleTrace builds the fig6-mix workload for one pool size. Durations are
+// scaleSpec is the fig6-mix workload spec for one pool size. Durations are
 // fixed (not scaled): the experiment measures scheduling cost, so the event
 // volume per host is held constant while the host count sweeps.
-func scaleTrace(opt Options, hosts int) (*trace.Trace, error) {
-	return workload.Generate(workload.PoolSpec{
+func scaleSpec(opt Options, hosts int) workload.PoolSpec {
+	return workload.PoolSpec{
 		Name:       fmt.Sprintf("scale-%d", hosts),
 		Zone:       "scale-zone",
 		Hosts:      hosts,
@@ -73,14 +97,59 @@ func scaleTrace(opt Options, hosts int) (*trace.Trace, error) {
 		Prefill:    24 * simtime.Hour,
 		Seed:       opt.Seed + int64(hosts),
 		Diurnal:    0.3,
-	})
+	}
 }
 
-// runScale sweeps pool size x policy x engine. Every policy runs twice on
-// the identical trace — incremental score cache and exhaustive reference —
-// so the sweep doubles as a differential check: the Identical column must
-// read true everywhere.
+// scaleTrace materializes the workload for one dual-engine pool size.
+func scaleTrace(opt Options, hosts int) (*trace.Trace, error) {
+	return workload.Generate(scaleSpec(opt, hosts))
+}
+
+// scaleCell is one cell of the sweep: the unscaled label that names its
+// rows and the host count actually simulated.
+type scaleCell struct {
+	label int
+	hosts int
+}
+
+// scaleCells applies Options.Scale to a sweep, dropping cells whose scaled
+// size collides with an earlier one (the 64-host floor merges the small end
+// at tiny scales).
+func scaleCells(sweep []int, scale float64) []scaleCell {
+	var cells []scaleCell
+	for _, label := range sweep {
+		n := scaleInt(label, scale, 64)
+		if len(cells) > 0 && cells[len(cells)-1].hosts == n {
+			continue
+		}
+		cells = append(cells, scaleCell{label: label, hosts: n})
+	}
+	return cells
+}
+
+// runScale sweeps pool size x policy x engine. Every dual-engine cell runs
+// each policy twice on the identical trace — incremental score cache and
+// exhaustive reference — so the sweep doubles as a differential check: the
+// Identical column must read true on every dual-engine row. The mega cells
+// (full tier) stream their multi-million-VM traces straight into the
+// simulator and run the epoch-quantized policy variants on the cached
+// engine only.
 func runScale(opt Options) (Report, error) {
+	tier := opt.ScaleTier
+	if tier == "" {
+		tier = ScaleTierFull
+	}
+	var dual, mega []scaleCell
+	switch tier {
+	case ScaleTierSmoke:
+		dual = scaleCells(scaleSmokeSweep, opt.Scale)
+	case ScaleTierFull:
+		dual = scaleCells(scaleHostSweep, opt.Scale)
+		mega = scaleCells(scaleMegaSweep, opt.Scale)
+	default:
+		return nil, fmt.Errorf("experiments: scale: unknown tier %q (smoke|full)", tier)
+	}
+
 	// A cheap, deterministic lifetime model: the engine comparison is about
 	// scheduling structure, and model-call counts are identical on both
 	// arms by construction.
@@ -96,20 +165,12 @@ func runScale(opt Options) (Report, error) {
 		return nil, err
 	}
 
-	var sizes []int
-	for _, n := range scaleHostSweep {
-		s := scaleInt(n, opt.Scale, 64)
-		if len(sizes) == 0 || sizes[len(sizes)-1] != s {
-			sizes = append(sizes, s)
-		}
-	}
-
-	traces := make([]*trace.Trace, len(sizes))
-	gen := make([]func() error, len(sizes))
-	for i, n := range sizes {
-		i, n := i, n
+	traces := make([]*trace.Trace, len(dual))
+	gen := make([]func() error, len(dual))
+	for i, c := range dual {
+		i, c := i, c
 		gen[i] = func() error {
-			tr, err := scaleTrace(opt, n)
+			tr, err := scaleTrace(opt, c.hosts)
 			traces[i] = tr
 			return err
 		}
@@ -123,24 +184,55 @@ func runScale(opt Options) (Report, error) {
 		{"nilas", func() scheduler.Policy { return scheduler.NewNILAS(pred, time.Minute) }},
 		{"lava", func() scheduler.Policy { return scheduler.NewLAVA(pred, time.Minute) }},
 	}
+	// Mega arms keep the dual-sweep names ("nilas" names the lifetime-aware
+	// family, not the exact scorer) but run the epoch-quantized variants:
+	// the exact temporal cost is a dynamic level, O(feasible hosts) per
+	// decision, which is precisely what cannot be afforded at this size.
+	megaArms := []policyArm{
+		{"base", func() scheduler.Policy { return scheduler.NewWasteMin() }},
+		{"nilas", func() scheduler.Policy {
+			return scheduler.NewNILASEpoch(pred, time.Minute, scheduler.DefaultEpoch)
+		}},
+		{"lava", func() scheduler.Policy {
+			return scheduler.NewLAVAEpoch(pred, time.Minute, scheduler.DefaultEpoch)
+		}},
+	}
 	engines := []struct {
 		name string
 		e    scheduler.Engine
 	}{{"cached", scheduler.EngineCached}, {"exhaustive", scheduler.EngineExhaustive}}
 
 	var jobs []runner.Job
-	for i, tr := range traces {
+	for i, c := range dual {
 		for _, arm := range arms {
 			for _, eng := range engines {
-				tr, arm, eng := tr, arm, eng
+				tr, arm, eng := traces[i], arm, eng
 				jobs = append(jobs, runner.Job{
-					Name: fmt.Sprintf("h%d/%s/%s", sizes[i], arm.name, eng.name),
+					Name: fmt.Sprintf("h%d/%s/%s", c.label, arm.name, eng.name),
 					Seed: opt.Seed,
 					Run: func() (*sim.Result, error) {
 						return sim.Run(sim.Config{Trace: tr, Policy: scheduler.SetEngine(arm.mk(), eng.e)})
 					},
 				})
 			}
+		}
+	}
+	for _, c := range mega {
+		for _, arm := range megaArms {
+			c, arm := c, arm
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("h%d/%s", c.label, arm.name),
+				Seed: opt.Seed,
+				Run: func() (*sim.Result, error) {
+					// The trace is generated and consumed record by record:
+					// resident memory is O(live VMs), never O(trace).
+					g, err := workload.Stream(scaleSpec(opt, c.hosts))
+					if err != nil {
+						return nil, err
+					}
+					return sim.Run(sim.Config{Trace: g.Meta(), Source: g, Policy: arm.mk()})
+				},
+			})
 		}
 	}
 
@@ -162,29 +254,43 @@ func runScale(opt Options) (Report, error) {
 	}
 
 	rep := &ScaleReport{}
-	for _, n := range sizes {
+	for _, c := range dual {
 		for _, arm := range arms {
-			c := byName[fmt.Sprintf("h%d/%s/cached", n, arm.name)]
-			x := byName[fmt.Sprintf("h%d/%s/exhaustive", n, arm.name)]
+			cr := byName[fmt.Sprintf("h%d/%s/cached", c.label, arm.name)]
+			x := byName[fmt.Sprintf("h%d/%s/exhaustive", c.label, arm.name)]
 			row := ScaleRow{
-				Hosts:      n,
-				Policy:     arm.name,
-				Placements: c.Result.Placements,
-				CachedSec:  c.ElapsedSec,
-				ExhSec:     x.ElapsedSec,
-				Identical: c.Result.Placements == x.Result.Placements &&
-					c.Result.Failed == x.Result.Failed &&
-					c.Result.ModelCalls == x.Result.ModelCalls &&
-					c.Result.AvgEmptyHostFrac == x.Result.AvgEmptyHostFrac &&
-					c.Result.AvgPackingDensity == x.Result.AvgPackingDensity,
+				Hosts:       c.label,
+				ActualHosts: c.hosts,
+				Policy:      arm.name,
+				Placements:  cr.Result.Placements,
+				CachedSec:   cr.ElapsedSec,
+				ExhSec:      x.ElapsedSec,
+				Identical: cr.Result.Placements == x.Result.Placements &&
+					cr.Result.Failed == x.Result.Failed &&
+					cr.Result.ModelCalls == x.Result.ModelCalls &&
+					cr.Result.AvgEmptyHostFrac == x.Result.AvgEmptyHostFrac &&
+					cr.Result.AvgPackingDensity == x.Result.AvgPackingDensity,
 			}
-			if c.ElapsedSec > 0 {
-				row.Speedup = x.ElapsedSec / c.ElapsedSec
+			if cr.ElapsedSec > 0 {
+				row.Speedup = x.ElapsedSec / cr.ElapsedSec
 			}
 			if math.IsNaN(row.Speedup) || math.IsInf(row.Speedup, 0) {
 				row.Speedup = 0
 			}
 			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	for _, c := range mega {
+		for _, arm := range megaArms {
+			cr := byName[fmt.Sprintf("h%d/%s", c.label, arm.name)]
+			rep.Rows = append(rep.Rows, ScaleRow{
+				Hosts:       c.label,
+				ActualHosts: c.hosts,
+				Policy:      arm.name,
+				Placements:  cr.Result.Placements,
+				CachedSec:   cr.ElapsedSec,
+				CachedOnly:  true,
+			})
 		}
 	}
 	return rep, nil

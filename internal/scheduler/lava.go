@@ -26,6 +26,7 @@ import (
 type LAVA struct {
 	chain CachedChain
 	cache *ExitCache
+	et    *epochTemporal // non-nil for the epoch-quantized variant (epoch.go)
 }
 
 // NewLAVA builds the LAVA policy over the given predictor. refresh is the
@@ -90,8 +91,9 @@ func (l *LAVA) classScore(h *cluster.Host, vm *cluster.VM, now time.Duration) fl
 	}
 }
 
-// Name implements Policy.
-func (l *LAVA) Name() string { return "lava" }
+// Name implements Policy ("lava", or "lava-epoch" for the quantized
+// variant).
+func (l *LAVA) Name() string { return l.chain.ChainName }
 
 // Schedule implements Policy.
 func (l *LAVA) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
@@ -109,6 +111,9 @@ func (l *LAVA) OnPlaced(_ *cluster.Pool, h *cluster.Host, vm *cluster.VM, now ti
 		vm.InitialPrediction = l.cache.Pred.PredictRemaining(vm, 0)
 	}
 	l.cache.Invalidate(h.ID)
+	if l.et != nil {
+		l.et.onPlaced(h, vm, now)
+	}
 	if h.State == cluster.StateEmpty {
 		// First VM opens the host with the VM's class (§4.3).
 		h.OpenAs(l.vmClass(vm, now), now)
@@ -123,6 +128,9 @@ func (l *LAVA) OnPlaced(_ *cluster.Pool, h *cluster.Host, vm *cluster.VM, now ti
 // OnExited implements Policy: demote on residual drain, reset on empty.
 func (l *LAVA) OnExited(_ *cluster.Pool, h *cluster.Host, _ *cluster.VM, now time.Duration) {
 	l.cache.Invalidate(h.ID)
+	if l.et != nil {
+		l.et.onExited(h)
+	}
 	if h.Empty() {
 		h.ResetLAVA()
 		return

@@ -18,6 +18,7 @@ import (
 type NILAS struct {
 	chain CachedChain
 	cache *ExitCache
+	et    *epochTemporal // non-nil for the epoch-quantized variant (epoch.go)
 }
 
 // NewNILAS builds the NILAS policy over the given predictor. refresh is the
@@ -95,11 +96,20 @@ func (n *NILAS) temporalCost(h *cluster.Host, vm *cluster.VM, now time.Duration)
 	return float64(simtime.TemporalCost(deltaT))
 }
 
-// Name implements Policy.
-func (n *NILAS) Name() string { return "nilas" }
+// Name implements Policy ("nilas", or "nilas-epoch" for the quantized
+// variant).
+func (n *NILAS) Name() string { return n.chain.ChainName }
 
 // Schedule implements Policy.
 func (n *NILAS) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
+	if n.et != nil {
+		// Epoch variant: classify the VM up front on both engines. The
+		// cached engine needs the quantized remaining lifetime for its
+		// context key; warming the memoized reprediction here keeps the
+		// exhaustive engine's model-call count identical even when a single
+		// feasible host lets the chain skip scoring entirely.
+		n.cache.Remaining(vm, now)
+	}
 	return n.chain.Schedule(pool, vm, now)
 }
 
@@ -110,11 +120,17 @@ func (n *NILAS) OnPlaced(_ *cluster.Pool, h *cluster.Host, vm *cluster.VM, now t
 		vm.InitialPrediction = n.cache.Pred.PredictRemaining(vm, 0)
 	}
 	n.cache.Invalidate(h.ID)
+	if n.et != nil {
+		n.et.onPlaced(h, vm, now)
+	}
 }
 
 // OnExited implements Policy: re-score the host (G.3 rule 2).
 func (n *NILAS) OnExited(_ *cluster.Pool, h *cluster.Host, _ *cluster.VM, _ time.Duration) {
 	n.cache.Invalidate(h.ID)
+	if n.et != nil {
+		n.et.onExited(h)
+	}
 }
 
 // OnTick implements Policy (no-op; cache staleness is handled on read).

@@ -21,6 +21,12 @@ func policiesUnderTest() map[string]func() Policy {
 		"dpbfr":     func() Policy { return NewDPBFR(model.Oracle{}) },
 		"nilas":     func() Policy { return NewNILAS(model.Oracle{}, time.Minute) },
 		"lava":      func() Policy { return NewLAVA(model.Oracle{}, time.Minute) },
+		"nilas-epoch": func() Policy {
+			return NewNILASEpoch(model.Oracle{}, time.Minute, DefaultEpoch)
+		},
+		"lava-epoch": func() Policy {
+			return NewLAVAEpoch(model.Oracle{}, time.Minute, DefaultEpoch)
+		},
 	}
 }
 

@@ -49,13 +49,15 @@ type CacheContext struct {
 
 // maxCachedContexts bounds the per-policy context population (distinct VM
 // shapes x classes). Workload mixes are small and discrete — the fig6 mix
-// has ~21 shapes, times four LAVA lifetime classes ~84 contexts — so the
-// cap sits above the realistic population and exists only to keep memory
+// has ~21 shapes, times four LAVA lifetime classes ~84 contexts; the epoch
+// variants multiply by the ~11 quantized remaining-lifetime buckets instead,
+// of which only a handful are populated per shape in practice — so the cap
+// sits above the realistic population and exists only to keep memory
 // bounded under adversarial inputs (memory ceiling: contexts x hosts x
 // levels x 8 bytes). The least-recently-used context is evicted and rebuilt
 // on demand if it ever returns; eviction thrash shows up directly in the
 // scale benchmarks, so keep the cap comfortably above the live population.
-const maxCachedContexts = 128
+const maxCachedContexts = 256
 
 // CachedChain is a Chain wrapped in the incremental score-cache engine. The
 // zero value of the extra fields gives a fully static chain (every level
@@ -90,10 +92,19 @@ type CachedChain struct {
 	// results, none of the pointless maintenance.
 	TimeVarying bool
 
-	engine Engine
-	pool   *cluster.Pool
-	cancel func()
-	hosts  []*cluster.Host // pool.Hosts(); hosts[i].ID == i (checked at bind)
+	// Epoch is the middle ground between fully static and TimeVarying:
+	// scores that are pure within a fixed quantum of virtual time (the
+	// epoch-quantized temporal levels, see epoch.go). When set, every
+	// cached score is invalidated whenever now crosses an Epoch boundary —
+	// one DirtyAll per epoch instead of per Schedule, amortized to nothing
+	// over the epoch's many placements.
+	Epoch time.Duration
+
+	engine   Engine
+	epochIdx int64 // 1 + the epoch index the cache was last valid for
+	pool     *cluster.Pool
+	cancel   func()
+	hosts    []*cluster.Host // pool.Hosts(); hosts[i].ID == i (checked at bind)
 
 	sets   map[CacheContext]*candSet
 	list   []*candSet // same sets, for event fan-out and eviction
@@ -175,6 +186,15 @@ func (c *CachedChain) dyn(li int) bool {
 func (c *CachedChain) Schedule(pool *cluster.Pool, vm *cluster.VM, now time.Duration) (*cluster.Host, error) {
 	if c.engine == EngineExhaustive || c.TimeVarying || !c.bind(pool) {
 		return c.Chain.Schedule(pool, vm, now)
+	}
+	if c.Epoch > 0 {
+		// Epoch rollover: every cached epoch-quantized score just changed.
+		// (+1 keeps the zero value distinct from epoch 0, so the first
+		// Schedule also takes this branch — harmless, sets start all-dirty.)
+		if idx := int64(now/c.Epoch) + 1; idx != c.epochIdx {
+			c.epochIdx = idx
+			c.DirtyAll()
+		}
 	}
 	ctx := CacheContext{Shape: vm.Shape}
 	if c.ClassOf != nil {

@@ -39,6 +39,12 @@ func cachedPolicies() map[string]func() Policy {
 		"la-binary": func() Policy { return NewLABinary(model.Oracle{}) },
 		"nilas":     func() Policy { return NewNILAS(model.Oracle{}, time.Minute) },
 		"lava":      func() Policy { return NewLAVA(model.Oracle{}, time.Minute) },
+		"nilas-epoch": func() Policy {
+			return NewNILASEpoch(model.Oracle{}, time.Minute, DefaultEpoch)
+		},
+		"lava-epoch": func() Policy {
+			return NewLAVAEpoch(model.Oracle{}, time.Minute, DefaultEpoch)
+		},
 		"rollout": func() Policy {
 			return NewSwitched(NewWasteMin(), NewLAVA(model.Oracle{}, time.Minute), 20*time.Hour)
 		},

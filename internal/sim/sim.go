@@ -133,6 +133,17 @@ type Config struct {
 	Trace  *trace.Trace
 	Policy scheduler.Policy
 
+	// Source, when set, feeds Run's replay loop incrementally instead of
+	// Trace.Records: records are consumed one at a time in canonical
+	// (arrival, ID) order and resident memory stays O(live VMs) — the
+	// streamed-replay path for multi-million-VM traces (workload.Stream,
+	// trace.OpenStream). Trace still supplies the pool geometry, warm-up
+	// and measurement horizon (its Records may be empty); for unbounded
+	// sources Trace.Horizon must be set or the run has no defined end.
+	// Results are byte-identical to a materialized replay of the same
+	// record sequence.
+	Source trace.Stream
+
 	// WarmUp excludes the initial interval from reported metrics
 	// (Appendix F: simulations warm up to reach a steady state that is
 	// representative of production before lifetime-aware scheduling is
@@ -248,6 +259,16 @@ type Machine struct {
 	nextSample time.Duration
 	nextTick   time.Duration
 	finished   bool
+
+	// Online post-warm-up aggregates, accumulated as each sample fires so
+	// Finish is O(1) instead of an O(samples) rescan per metric. The sums
+	// add the same values in the same order as Series.After(WarmUp).Mean,
+	// so the reported averages are bit-identical to the scan they replace.
+	aggN     int
+	aggEmpty float64
+	aggE2F   float64
+	aggPack  float64
+	aggCPU   float64
 }
 
 // NewMachine validates the configuration and builds a machine positioned at
@@ -260,6 +281,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	if cfg.Trace.Hosts <= 0 {
 		return nil, errors.New("sim: trace has no hosts")
+	}
+	if cfg.Source != nil && cfg.Trace.Horizon <= 0 {
+		// A streamed run cannot derive "until the last exit" without
+		// materializing; the geometry must state the measurement end.
+		return nil, errors.New("sim: streamed source requires Trace.Horizon")
 	}
 	if cfg.SampleEvery == 0 {
 		cfg.SampleEvery = time.Hour
@@ -350,8 +376,16 @@ func (m *Machine) Advance(t time.Duration) error {
 	}
 	for m.nextSample <= t || m.nextTick <= t {
 		if m.nextSample <= m.nextTick {
-			if err := m.res.Series.Add(metrics.Snapshot(m.pool, m.nextSample)); err != nil {
+			smp := metrics.Snapshot(m.pool, m.nextSample)
+			if err := m.res.Series.Add(smp); err != nil {
 				return err
+			}
+			if smp.Time >= m.cfg.WarmUp {
+				m.aggN++
+				m.aggEmpty += smp.EmptyHostFrac
+				m.aggE2F += smp.EmptyToFree
+				m.aggPack += smp.PackingDensity
+				m.aggCPU += smp.CPUUtil
 			}
 			if m.cfg.CheckInvariants {
 				if err := m.pool.CheckInvariants(); err != nil {
@@ -601,11 +635,15 @@ func (m *Machine) Finish() (*Result, error) {
 	if err := m.Advance(m.end); err != nil {
 		return nil, err
 	}
-	steady := m.res.Series.After(m.cfg.WarmUp)
-	m.res.AvgEmptyHostFrac = steady.Mean(metrics.EmptyHostFrac)
-	m.res.AvgEmptyToFree = steady.Mean(metrics.EmptyToFree)
-	m.res.AvgPackingDensity = steady.Mean(metrics.PackingDensity)
-	m.res.AvgCPUUtil = steady.Mean(metrics.CPUUtil)
+	// Aggregates come from the online accumulators (see Advance), which sum
+	// in sample order exactly like Series.After(WarmUp).Mean would.
+	if m.aggN > 0 {
+		n := float64(m.aggN)
+		m.res.AvgEmptyHostFrac = m.aggEmpty / n
+		m.res.AvgEmptyToFree = m.aggE2F / n
+		m.res.AvgPackingDensity = m.aggPack / n
+		m.res.AvgCPUUtil = m.aggCPU / n
+	}
 	if mc, ok := m.cfg.Policy.(modelCaller); ok {
 		m.res.ModelCalls = mc.ModelCalls()
 	}
@@ -619,13 +657,28 @@ func (m *Machine) Finish() (*Result, error) {
 	return m.res, nil
 }
 
-// Run replays the trace against the policy.
+// Run replays the trace against the policy. The event sequence comes from
+// Config.Source when set (streamed replay) and from Trace.Records
+// otherwise; both paths drive the identical event order through the same
+// Machine, so they are byte-identical on the same record sequence.
 func Run(cfg Config) (*Result, error) {
 	m, err := NewMachine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for _, ev := range cfg.Trace.Events() {
+	src := cfg.Source
+	if src == nil {
+		src = cfg.Trace.Stream()
+	}
+	cur := trace.NewEventCursor(src)
+	for {
+		ev, ok := cur.Next()
+		if !ok {
+			if err := cur.Err(); err != nil {
+				return nil, fmt.Errorf("sim: trace stream: %w", err)
+			}
+			break
+		}
 		if ev.Time > m.end {
 			break // drain-only tail: stop measuring
 		}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"lava/internal/cluster"
+	"lava/internal/resources"
+)
+
+// synth builds a canonical-order trace with n records and enough arrival
+// ties and overlapping lifetimes to exercise the event-merge logic.
+func synth(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{
+		PoolName: "stream-test", Hosts: 32,
+		HostCPU: 64000, HostMem: 262144, HostSSD: 3000,
+		WarmUp: time.Hour, Horizon: 200 * time.Hour,
+	}
+	arrival := time.Duration(0)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) > 0 { // ~25% of records tie on arrival time
+			arrival += time.Duration(rng.Intn(300)) * time.Second
+		}
+		tr.Records = append(tr.Records, Record{
+			ID:       cluster.VMID(i + 1),
+			Arrival:  arrival,
+			Lifetime: time.Duration(1+rng.Intn(7200)) * time.Second,
+			Shape:    resources.Cores(int64(1+rng.Intn(8)), 4096, 0),
+		})
+	}
+	return tr
+}
+
+func TestCollectRoundTrip(t *testing.T) {
+	tr := synth(500, 7)
+	got, err := Collect(tr.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr.Records) {
+		t.Fatalf("collected %d records, want %d", len(got), len(tr.Records))
+	}
+	for i := range got {
+		if got[i] != tr.Records[i] {
+			t.Fatalf("record %d: stream yielded %+v, want %+v", i, got[i], tr.Records[i])
+		}
+	}
+}
+
+// TestStreamSortsNonCanonicalCopy: a trace whose records are out of order
+// must stream in canonical order without mutating the original slice.
+func TestStreamSortsNonCanonicalCopy(t *testing.T) {
+	tr := synth(100, 11)
+	shuffled := &Trace{Records: append([]Record(nil), tr.Records...)}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(shuffled.Records), func(i, j int) {
+		shuffled.Records[i], shuffled.Records[j] = shuffled.Records[j], shuffled.Records[i]
+	})
+	first := shuffled.Records[0]
+	got, err := Collect(shuffled.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != tr.Records[i] {
+			t.Fatalf("record %d: stream yielded vm %d, want vm %d", i, got[i].ID, tr.Records[i].ID)
+		}
+	}
+	if shuffled.Records[0] != first {
+		t.Fatal("Stream() mutated the caller's record slice")
+	}
+}
+
+// TestEventCursorMatchesEvents is the streaming/materialized equivalence
+// gate at the event level: the heap-merged cursor must reproduce the
+// Events() slice exactly — same times, kinds, records, order.
+func TestEventCursorMatchesEvents(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		tr := synth(1000, seed)
+		want := tr.Events()
+		c := NewEventCursor(tr.Stream())
+		for i, w := range want {
+			ev, ok := c.Next()
+			if !ok {
+				t.Fatalf("seed %d: cursor exhausted at event %d/%d (err %v)", seed, i, len(want), c.Err())
+			}
+			if ev != w {
+				t.Fatalf("seed %d: event %d: cursor %+v, events %+v", seed, i, ev, w)
+			}
+		}
+		if ev, ok := c.Next(); ok {
+			t.Fatalf("seed %d: cursor yielded extra event %+v", seed, ev)
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("seed %d: cursor error after clean drain: %v", seed, err)
+		}
+		if c.Live() != 0 {
+			t.Fatalf("seed %d: %d VMs still live after full drain", seed, c.Live())
+		}
+	}
+}
+
+// TestOpenStreamMatchesRead: decoding a JSONL trace record by record must
+// agree exactly with the materialized Read path — same geometry, same
+// records.
+func TestOpenStreamMatchesRead(t *testing.T) {
+	tr := synth(300, 5)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	want, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := s.Meta()
+	if meta.PoolName != want.PoolName || meta.Hosts != want.Hosts ||
+		meta.HostShape() != want.HostShape() ||
+		meta.WarmUp != want.WarmUp || meta.Horizon != want.Horizon {
+		t.Fatalf("stream meta %+v disagrees with read header %+v", meta, want)
+	}
+	if len(meta.Records) != 0 {
+		t.Fatalf("stream meta carries %d materialized records", len(meta.Records))
+	}
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Records) {
+		t.Fatalf("streamed %d records, read %d", len(got), len(want.Records))
+	}
+	for i := range got {
+		if got[i] != want.Records[i] {
+			t.Fatalf("record %d: streamed %+v, read %+v", i, got[i], want.Records[i])
+		}
+	}
+}
+
+func TestOpenStreamRejectsBadRecords(t *testing.T) {
+	header := `{"pool":"p","hosts":2,"host_cpu_milli":64000,"host_mem_mb":262144,"records":2}`
+	cases := []struct {
+		name string
+		rows []string
+	}{
+		{"out of order", []string{
+			`{"id":2,"arrival_ns":7200000000000,"lifetime_ns":60000000000,"shape":{"CPUMilli":1000,"MemoryMB":1024}}`,
+			`{"id":1,"arrival_ns":3600000000000,"lifetime_ns":60000000000,"shape":{"CPUMilli":1000,"MemoryMB":1024}}`,
+		}},
+		{"duplicate id at same arrival", []string{
+			`{"id":1,"arrival_ns":3600000000000,"lifetime_ns":60000000000,"shape":{"CPUMilli":1000,"MemoryMB":1024}}`,
+			`{"id":1,"arrival_ns":3600000000000,"lifetime_ns":60000000000,"shape":{"CPUMilli":1000,"MemoryMB":1024}}`,
+		}},
+		{"zero lifetime", []string{
+			`{"id":1,"arrival_ns":0,"lifetime_ns":0,"shape":{"CPUMilli":1000,"MemoryMB":1024}}`,
+		}},
+		{"shape exceeds host", []string{
+			`{"id":1,"arrival_ns":0,"lifetime_ns":60000000000,"shape":{"CPUMilli":999000,"MemoryMB":1024}}`,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := header + "\n" + strings.Join(tc.rows, "\n") + "\n"
+			s, err := OpenStream(strings.NewReader(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Collect(s); err == nil {
+				t.Fatal("bad record streamed without error")
+			}
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"lava/internal/simtime"
+	"lava/internal/trace"
+)
+
+// TestStreamMatchesGenerate is the streamed-vs-materialized byte-parity
+// gate at the generator level: collecting the record stream must reproduce
+// Generate's record slice exactly (same RNG consumption order), and the
+// stream's Meta must carry the same pool geometry.
+func TestStreamMatchesGenerate(t *testing.T) {
+	spec := PoolSpec{
+		Name: "stream-parity", Zone: "z1", Hosts: 48, TargetUtil: 0.65,
+		Duration: 3 * simtime.Day, Prefill: 2 * simtime.Day,
+		Seed: 42, Diurnal: 0.3,
+	}
+	want, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Stream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := g.Meta()
+	if meta.PoolName != want.PoolName || meta.Hosts != want.Hosts ||
+		meta.HostShape() != want.HostShape() ||
+		meta.WarmUp != want.WarmUp || meta.Horizon != want.Horizon {
+		t.Fatalf("stream meta %+v disagrees with generated trace header %+v", meta, want)
+	}
+	got, err := trace.Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Records) {
+		t.Fatalf("streamed %d records, generated %d", len(got), len(want.Records))
+	}
+	for i := range got {
+		if got[i] != want.Records[i] {
+			t.Fatalf("record %d: streamed %+v, generated %+v", i, got[i], want.Records[i])
+		}
+	}
+}
+
+// TestStreamDeterministic: two streams of the same spec must agree record
+// for record (the property the mega scale cells rely on for reproducible
+// BENCH rows).
+func TestStreamDeterministic(t *testing.T) {
+	spec := PoolSpec{
+		Name: "stream-det", Zone: "z1", Hosts: 24, TargetUtil: 0.6,
+		Duration: 2 * simtime.Day, Seed: 7,
+	}
+	a, err := Stream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		ra, oka := a.Next()
+		rb, okb := b.Next()
+		if oka != okb {
+			t.Fatalf("streams diverge in length at record %d", i)
+		}
+		if !oka {
+			break
+		}
+		if ra != rb {
+			t.Fatalf("record %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if a.Err() != nil || b.Err() != nil {
+		t.Fatalf("stream errors: %v, %v", a.Err(), b.Err())
+	}
+}

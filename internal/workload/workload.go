@@ -207,81 +207,19 @@ func E2Mix() []TypeSpec {
 }
 
 // Generate builds the synthetic trace for spec. It is deterministic in
-// spec.Seed.
+// spec.Seed, and is a materializing collect over the Stream cursor — the
+// two produce identical record sequences by construction.
 func Generate(spec PoolSpec) (*trace.Trace, error) {
-	if spec.Hosts <= 0 {
-		return nil, fmt.Errorf("workload: pool %q has no hosts", spec.Name)
+	g, err := Stream(spec)
+	if err != nil {
+		return nil, err
 	}
-	if spec.Duration <= 0 {
-		return nil, fmt.Errorf("workload: pool %q has no duration", spec.Name)
+	recs, err := trace.Collect(g)
+	if err != nil {
+		return nil, err
 	}
-	if spec.TargetUtil <= 0 || spec.TargetUtil >= 1 {
-		return nil, fmt.Errorf("workload: pool %q target utilization %v out of (0,1)", spec.Name, spec.TargetUtil)
-	}
-	mix := spec.Mix
-	if len(mix) == 0 {
-		mix = DefaultMix()
-	}
-	shape := spec.HostShape
-	if shape.IsZero() {
-		shape = DefaultHostShape
-	}
-
-	rng := rand.New(rand.NewSource(spec.Seed))
-
-	// Calibrate the arrival rate so the *binding* resource dimension
-	// reaches the target utilization in steady state: running demand per
-	// dimension is lambda (VMs/h) x E[shape_dim x lifetime-hours].
-	var wsum, coreHoursPerVM, memMBHoursPerVM float64
-	for i := range mix {
-		wsum += mix[i].Weight
-	}
-	if wsum <= 0 {
-		return nil, fmt.Errorf("workload: pool %q mix has zero weight", spec.Name)
-	}
-	for i := range mix {
-		w := mix[i].Weight / wsum
-		life := mix[i].meanLifetimeHours()
-		coreHoursPerVM += w * mix[i].meanCores() * life
-		memMBHoursPerVM += w * mix[i].meanCores() * float64(mix[i].MemPerCoreMB) * life
-	}
-	totalCores := float64(shape.CPUMilli) / 1000 * float64(spec.Hosts)
-	totalMemMB := float64(shape.MemoryMB) * float64(spec.Hosts)
-	lambda := spec.TargetUtil * totalCores / coreHoursPerVM // VMs per hour
-	if memLambda := spec.TargetUtil * totalMemMB / memMBHoursPerVM; memLambda < lambda {
-		lambda = memLambda
-	}
-
-	tr := &trace.Trace{
-		PoolName: spec.Name,
-		Hosts:    spec.Hosts,
-		HostCPU:  shape.CPUMilli,
-		HostMem:  shape.MemoryMB,
-		HostSSD:  shape.SSDGB,
-		WarmUp:   spec.Prefill,
-		Horizon:  spec.Prefill + spec.Duration,
-	}
-
-	total := spec.Prefill + spec.Duration
-	id := spec.FirstVMID
-	now := time.Duration(0)
-	for {
-		// Diurnally modulated Poisson arrivals via rate scaling.
-		rate := lambda
-		if spec.Diurnal > 0 {
-			phase := 2 * math.Pi * now.Hours() / 24
-			rate = lambda * (1 + spec.Diurnal*math.Sin(phase))
-		}
-		gap := rng.ExpFloat64() / rate // hours
-		now += simtime.FromHours(gap)
-		if now >= total {
-			break
-		}
-		ts := pickType(rng, mix, wsum)
-		rec := sampleVM(rng, ts, id, now, spec.Zone)
-		tr.Records = append(tr.Records, rec)
-		id++
-	}
+	tr := g.Meta()
+	tr.Records = recs
 	tr.Sort()
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: generated invalid trace: %w", err)
